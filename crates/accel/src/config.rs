@@ -1,0 +1,205 @@
+//! Accelerator configuration words.
+//!
+//! Adaptive accelerators (Section 6) "sometimes operate in approximate
+//! mode and sometimes in accurate mode"; a **configuration word** sets the
+//! control bits of the approximate logic blocks in the datapath. This
+//! module defines the mode vocabulary ([`ApproxMode`], a small preset
+//! ladder over the Table III cells) and a packed word format
+//! ([`ConfigWord`]) with 4 bits per block.
+//!
+//! # Example
+//!
+//! ```
+//! use xlac_accel::config::{ApproxMode, ConfigWord};
+//!
+//! # fn main() -> Result<(), xlac_core::XlacError> {
+//! let word = ConfigWord::pack(&[ApproxMode::Accurate, ApproxMode::Aggressive])?;
+//! let modes = word.unpack(2)?;
+//! assert_eq!(modes, vec![ApproxMode::Accurate, ApproxMode::Aggressive]);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::fmt;
+use xlac_adders::FullAdderKind;
+use xlac_core::error::{Result, XlacError};
+
+/// Approximation presets, from exact to most aggressive. Each preset names
+/// a full-adder cell and an approximated-LSB count for the datapath
+/// adders — the configuration axes of the paper's case studies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ApproxMode {
+    /// Exact operation.
+    Accurate,
+    /// `ApxFA1` on 2 LSBs — near-exact, small savings.
+    Mild,
+    /// `ApxFA3` on 4 LSBs — the paper's recommended SAD sweet spot.
+    Medium,
+    /// `ApxFA5` on 6 LSBs — maximum savings, visible quality loss.
+    Aggressive,
+}
+
+impl ApproxMode {
+    /// All modes, in increasing aggressiveness.
+    pub const ALL: [ApproxMode; 4] =
+        [ApproxMode::Accurate, ApproxMode::Mild, ApproxMode::Medium, ApproxMode::Aggressive];
+
+    /// The full-adder cell this mode deploys.
+    #[must_use]
+    pub fn cell(self) -> FullAdderKind {
+        match self {
+            ApproxMode::Accurate => FullAdderKind::Accurate,
+            ApproxMode::Mild => FullAdderKind::Apx1,
+            ApproxMode::Medium => FullAdderKind::Apx3,
+            ApproxMode::Aggressive => FullAdderKind::Apx5,
+        }
+    }
+
+    /// Number of approximated LSBs in the datapath adders.
+    #[must_use]
+    pub fn approx_lsbs(self) -> usize {
+        match self {
+            ApproxMode::Accurate => 0,
+            ApproxMode::Mild => 2,
+            ApproxMode::Medium => 4,
+            ApproxMode::Aggressive => 6,
+        }
+    }
+
+    fn code(self) -> u64 {
+        match self {
+            ApproxMode::Accurate => 0,
+            ApproxMode::Mild => 1,
+            ApproxMode::Medium => 2,
+            ApproxMode::Aggressive => 3,
+        }
+    }
+
+    fn from_code(code: u64) -> Result<Self> {
+        match code {
+            0 => Ok(ApproxMode::Accurate),
+            1 => Ok(ApproxMode::Mild),
+            2 => Ok(ApproxMode::Medium),
+            3 => Ok(ApproxMode::Aggressive),
+            _ => Err(XlacError::InvalidConfiguration(format!("unknown mode code {code}"))),
+        }
+    }
+}
+
+impl fmt::Display for ApproxMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ApproxMode::Accurate => "accurate",
+            ApproxMode::Mild => "mild",
+            ApproxMode::Medium => "medium",
+            ApproxMode::Aggressive => "aggressive",
+        })
+    }
+}
+
+/// A packed configuration word: 4 bits per datapath block, block 0 in the
+/// least-significant nibble. Up to 16 blocks per word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConfigWord(u64);
+
+impl ConfigWord {
+    /// Packs per-block modes into a word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XlacError::InvalidConfiguration`] for more than 16 blocks.
+    pub fn pack(modes: &[ApproxMode]) -> Result<Self> {
+        if modes.len() > 16 {
+            return Err(XlacError::InvalidConfiguration(format!(
+                "{} blocks exceed the 16-block word",
+                modes.len()
+            )));
+        }
+        let mut word = 0u64;
+        for (i, m) in modes.iter().enumerate() {
+            word |= m.code() << (4 * i);
+        }
+        Ok(ConfigWord(word))
+    }
+
+    /// Unpacks the word into `blocks` per-block modes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XlacError::InvalidConfiguration`] for more than 16 blocks
+    /// or an invalid mode code.
+    pub fn unpack(self, blocks: usize) -> Result<Vec<ApproxMode>> {
+        if blocks > 16 {
+            return Err(XlacError::InvalidConfiguration(format!(
+                "{blocks} blocks exceed the 16-block word"
+            )));
+        }
+        (0..blocks).map(|i| ApproxMode::from_code((self.0 >> (4 * i)) & 0xF)).collect()
+    }
+
+    /// The raw 64-bit word (what the hardware register would hold).
+    #[must_use]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Builds a word from a raw register value.
+    #[must_use]
+    pub fn from_raw(raw: u64) -> Self {
+        ConfigWord(raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_modes() {
+        let modes = vec![
+            ApproxMode::Accurate,
+            ApproxMode::Mild,
+            ApproxMode::Medium,
+            ApproxMode::Aggressive,
+        ];
+        let word = ConfigWord::pack(&modes).unwrap();
+        assert_eq!(word.unpack(4).unwrap(), modes);
+    }
+
+    #[test]
+    fn word_layout_is_nibble_per_block() {
+        let word = ConfigWord::pack(&[ApproxMode::Aggressive, ApproxMode::Mild]).unwrap();
+        assert_eq!(word.raw(), 0x13);
+    }
+
+    #[test]
+    fn sixteen_block_limit() {
+        let modes = vec![ApproxMode::Medium; 16];
+        assert!(ConfigWord::pack(&modes).is_ok());
+        let too_many = vec![ApproxMode::Medium; 17];
+        assert!(ConfigWord::pack(&too_many).is_err());
+        assert!(ConfigWord::from_raw(0).unpack(17).is_err());
+    }
+
+    #[test]
+    fn invalid_code_is_rejected() {
+        let word = ConfigWord::from_raw(0xF);
+        assert!(word.unpack(1).is_err());
+    }
+
+    #[test]
+    fn mode_ladder_is_monotone() {
+        let mut last_lsbs = 0;
+        for mode in ApproxMode::ALL {
+            assert!(mode.approx_lsbs() >= last_lsbs);
+            last_lsbs = mode.approx_lsbs();
+        }
+        assert_eq!(ApproxMode::Accurate.cell(), FullAdderKind::Accurate);
+        assert_eq!(ApproxMode::Aggressive.cell(), FullAdderKind::Apx5);
+    }
+
+    #[test]
+    fn display_strings() {
+        assert_eq!(ApproxMode::Medium.to_string(), "medium");
+    }
+}

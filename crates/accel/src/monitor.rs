@@ -1,0 +1,256 @@
+//! Run-time quality monitoring for data-driven approximation control
+//! (§6.2, and the error-prediction line of work the survey cites).
+//!
+//! The paper's closing argument: resilience is *data-dependent*, so
+//! approximation should be controlled at run time. The standard mechanism
+//! (Khudia et al., IEEE D&T'16) samples a small fraction of accelerator
+//! invocations, re-executes them exactly, and maintains a running error
+//! estimate; a controller compares the estimate against the application's
+//! tolerance and recommends a mode change.
+//!
+//! [`QualityMonitor`] is that mechanism, generic over anything that can
+//! report an `(approximate, exact)` observation pair. It is deliberately
+//! decoupled from the accelerators: the caller decides *what* to sample
+//! (its own invocation stream) and the monitor decides *when to worry*.
+//!
+//! # Example
+//!
+//! ```
+//! use xlac_accel::monitor::{MonitorDecision, QualityMonitor};
+//!
+//! let mut monitor = QualityMonitor::new(8, 16, 10.0);
+//! // Feed invocations; every 8th is checked exactly (caller supplies both
+//! // values on sampled calls).
+//! for i in 0..200u64 {
+//!     if monitor.should_sample() {
+//!         monitor.observe(i, i + 20); // large error: mean 20 > 10
+//!     } else {
+//!         monitor.skip();
+//!     }
+//! }
+//! assert_eq!(monitor.decision(), MonitorDecision::TightenAccuracy);
+//! ```
+
+use std::collections::VecDeque;
+
+/// The controller's recommendation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MonitorDecision {
+    /// Not enough samples yet to judge.
+    Warmup,
+    /// Error comfortably below tolerance: a more aggressive mode could
+    /// save further power.
+    RelaxAccuracy,
+    /// Error within the target band: hold the current mode.
+    Hold,
+    /// Error above tolerance: switch to a more accurate mode.
+    TightenAccuracy,
+}
+
+/// A sampling quality monitor with a sliding observation window.
+#[derive(Debug, Clone)]
+pub struct QualityMonitor {
+    sample_every: u64,
+    window: usize,
+    tolerance: f64,
+    counter: u64,
+    observations: VecDeque<f64>,
+}
+
+impl QualityMonitor {
+    /// Creates a monitor that samples one in `sample_every` invocations,
+    /// keeps the last `window` sampled errors, and targets a mean absolute
+    /// error of at most `tolerance`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample_every == 0`, `window == 0` or
+    /// `tolerance < 0.0`.
+    #[must_use]
+    pub fn new(sample_every: u64, window: usize, tolerance: f64) -> Self {
+        assert!(sample_every >= 1, "sampling period must be at least 1");
+        assert!(window >= 1, "window must hold at least one observation");
+        assert!(tolerance >= 0.0, "tolerance must be non-negative");
+        QualityMonitor {
+            sample_every,
+            window,
+            tolerance,
+            counter: 0,
+            observations: VecDeque::with_capacity(window),
+        }
+    }
+
+    /// `true` when the *next* invocation should be sampled (the caller
+    /// must then call [`QualityMonitor::observe`]; otherwise
+    /// [`QualityMonitor::skip`]).
+    #[must_use]
+    pub fn should_sample(&self) -> bool {
+        self.counter.is_multiple_of(self.sample_every)
+    }
+
+    /// Records a sampled invocation: the approximate result and the exact
+    /// re-execution.
+    pub fn observe(&mut self, approximate: u64, exact: u64) {
+        self.counter += 1;
+        if self.observations.len() == self.window {
+            self.observations.pop_front();
+        }
+        self.observations.push_back(approximate.abs_diff(exact) as f64);
+    }
+
+    /// Records an unsampled invocation (keeps the sampling phase).
+    pub fn skip(&mut self) {
+        self.counter += 1;
+    }
+
+    /// The running mean absolute error over the window (`None` during
+    /// warm-up).
+    #[must_use]
+    pub fn mean_error(&self) -> Option<f64> {
+        if self.observations.len() < self.window / 2 + 1 {
+            None
+        } else {
+            Some(self.observations.iter().sum::<f64>() / self.observations.len() as f64)
+        }
+    }
+
+    /// Total invocations seen (sampled + skipped).
+    #[must_use]
+    pub fn invocations(&self) -> u64 {
+        self.counter
+    }
+
+    /// The controller's current recommendation: tighten above tolerance,
+    /// relax below 25 % of it, hold in between.
+    #[must_use]
+    pub fn decision(&self) -> MonitorDecision {
+        match self.mean_error() {
+            None => MonitorDecision::Warmup,
+            Some(err) if err > self.tolerance => MonitorDecision::TightenAccuracy,
+            Some(err) if err < 0.25 * self.tolerance => MonitorDecision::RelaxAccuracy,
+            Some(_) => MonitorDecision::Hold,
+        }
+    }
+
+    /// Resets the observation window (call after a mode switch so stale
+    /// errors from the previous mode don't bias the next decision).
+    pub fn reset_window(&mut self) {
+        self.observations.clear();
+    }
+
+    /// Monitoring overhead: the fraction of invocations re-executed
+    /// exactly.
+    #[must_use]
+    pub fn overhead(&self) -> f64 {
+        1.0 / self.sample_every as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warmup_until_half_window() {
+        let mut m = QualityMonitor::new(1, 8, 5.0);
+        for i in 0..4u64 {
+            assert_eq!(m.decision(), MonitorDecision::Warmup, "after {i} samples");
+            m.observe(10, 10);
+        }
+        m.observe(10, 10);
+        assert_ne!(m.decision(), MonitorDecision::Warmup);
+    }
+
+    #[test]
+    fn sampling_cadence() {
+        let mut m = QualityMonitor::new(4, 4, 5.0);
+        let mut sampled = 0;
+        for _ in 0..100 {
+            if m.should_sample() {
+                sampled += 1;
+                m.observe(0, 0);
+            } else {
+                m.skip();
+            }
+        }
+        assert_eq!(sampled, 25);
+        assert_eq!(m.invocations(), 100);
+        assert!((m.overhead() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tightens_on_large_errors() {
+        let mut m = QualityMonitor::new(1, 8, 3.0);
+        for _ in 0..8 {
+            m.observe(100, 110);
+        }
+        assert_eq!(m.decision(), MonitorDecision::TightenAccuracy);
+    }
+
+    #[test]
+    fn relaxes_on_tiny_errors() {
+        let mut m = QualityMonitor::new(1, 8, 10.0);
+        for _ in 0..8 {
+            m.observe(100, 101);
+        }
+        assert_eq!(m.decision(), MonitorDecision::RelaxAccuracy);
+    }
+
+    #[test]
+    fn holds_in_the_band() {
+        let mut m = QualityMonitor::new(1, 8, 10.0);
+        for _ in 0..8 {
+            m.observe(100, 105); // mean 5: between 2.5 and 10
+        }
+        assert_eq!(m.decision(), MonitorDecision::Hold);
+    }
+
+    #[test]
+    fn window_slides() {
+        let mut m = QualityMonitor::new(1, 4, 10.0);
+        for _ in 0..4 {
+            m.observe(0, 100); // terrible
+        }
+        assert_eq!(m.decision(), MonitorDecision::TightenAccuracy);
+        for _ in 0..4 {
+            m.observe(0, 0); // perfect — pushes the bad samples out
+        }
+        assert_eq!(m.decision(), MonitorDecision::RelaxAccuracy);
+    }
+
+    #[test]
+    fn reset_returns_to_warmup() {
+        let mut m = QualityMonitor::new(1, 4, 10.0);
+        for _ in 0..4 {
+            m.observe(0, 0);
+        }
+        m.reset_window();
+        assert_eq!(m.decision(), MonitorDecision::Warmup);
+    }
+
+    #[test]
+    #[should_panic(expected = "sampling period")]
+    fn zero_period_rejected() {
+        let _ = QualityMonitor::new(0, 4, 1.0);
+    }
+
+    #[test]
+    fn end_to_end_with_a_sad_accelerator() {
+        use crate::sad::{SadAccelerator, SadVariant};
+        let approx = SadAccelerator::new(16, SadVariant::ApxSad5, 6).unwrap();
+        let mut m = QualityMonitor::new(2, 16, 8.0);
+        for s in 0..200u64 {
+            let cur: Vec<u64> = (0..16).map(|i| (i * 17 + s * 3) % 256).collect();
+            let refb: Vec<u64> = (0..16).map(|i| (i * 23 + s * 5 + 9) % 256).collect();
+            if m.should_sample() {
+                let a = approx.sad(&cur, &refb).unwrap();
+                let e = SadAccelerator::sad_exact(&cur, &refb);
+                m.observe(a, e);
+            } else {
+                m.skip();
+            }
+        }
+        // A 6-LSB ApxSAD5 on busy data must trip the 8-unit tolerance.
+        assert_eq!(m.decision(), MonitorDecision::TightenAccuracy);
+    }
+}

@@ -1,0 +1,150 @@
+//! An accurate carry-lookahead adder — the fast-exact baseline.
+//!
+//! The paper positions approximate adders against *both* poles of the
+//! exact design space: the small-but-slow ripple-carry adder and the
+//! fast-but-large carry-lookahead adder. GeAr's pitch is RCA-like area at
+//! CLA-like delay, paid for in accuracy; this type supplies the CLA corner
+//! so benchmarks can show the three-way trade-off.
+//!
+//! # Example
+//!
+//! ```
+//! use xlac_adders::{Adder, CarryLookaheadAdder, RippleCarryAdder};
+//!
+//! let cla = CarryLookaheadAdder::new(32);
+//! let rca = RippleCarryAdder::accurate(32);
+//! assert_eq!(cla.add(7, 9), 16);
+//! // CLA trades area for delay.
+//! assert!(cla.hw_cost().delay < rca.hw_cost().delay);
+//! assert!(cla.hw_cost().area_ge > rca.hw_cost().area_ge);
+//! ```
+
+use crate::adder::Adder;
+use xlac_core::bits;
+use xlac_core::characterization::HwCost;
+
+/// A two-level carry-lookahead adder of a fixed width.
+///
+/// Functionally exact; only the cost model differs from
+/// [`crate::AccurateAdder`]: logarithmic delay, ~40 % area premium over a
+/// ripple chain (typical for 4-bit lookahead groups with a group-carry
+/// tree).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CarryLookaheadAdder {
+    width: usize,
+}
+
+impl CarryLookaheadAdder {
+    /// Creates a CLA of `width` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or exceeds 63.
+    #[must_use]
+    pub fn new(width: usize) -> Self {
+        assert!((1..=63).contains(&width), "adder width {width} out of 1..=63");
+        CarryLookaheadAdder { width }
+    }
+
+    /// Computes all carries explicitly through generate/propagate recurrence
+    /// (returned LSB-first including the final carry-out), demonstrating the
+    /// lookahead structure rather than deferring to `+`.
+    #[must_use]
+    pub fn carries(&self, a: u64, b: u64) -> Vec<u64> {
+        let a = bits::truncate(a, self.width);
+        let b = bits::truncate(b, self.width);
+        let mut carries = Vec::with_capacity(self.width + 1);
+        let mut c = 0u64;
+        carries.push(c);
+        for i in 0..self.width {
+            let g = bits::bit(a, i) & bits::bit(b, i);
+            let p = bits::bit(a, i) ^ bits::bit(b, i);
+            c = g | (p & c);
+            carries.push(c);
+        }
+        carries
+    }
+}
+
+impl Adder for CarryLookaheadAdder {
+    fn width(&self) -> usize {
+        self.width
+    }
+
+    fn add(&self, a: u64, b: u64) -> u64 {
+        let a = bits::truncate(a, self.width);
+        let b = bits::truncate(b, self.width);
+        let carries = self.carries(a, b);
+        let mut sum = 0u64;
+        for (i, &carry) in carries.iter().enumerate().take(self.width) {
+            let s = bits::bit(a, i) ^ bits::bit(b, i) ^ carry;
+            sum |= s << i;
+        }
+        sum | (carries[self.width] << self.width)
+    }
+
+    fn name(&self) -> String {
+        format!("CLA(N={})", self.width)
+    }
+
+    fn hw_cost(&self) -> HwCost {
+        let n = self.width as f64;
+        let fa = crate::full_adder::FullAdderKind::Accurate.hw_cost();
+        // Per-bit cells plus the lookahead tree (~40 % area/power premium);
+        // delay grows with the log-depth group-carry tree.
+        let levels = (self.width as f64).log2().ceil().max(1.0);
+        HwCost {
+            area_ge: fa.area_ge * n * 1.4,
+            power_nw: fa.power_nw * n * 1.4,
+            delay: 2.0 * levels + 4.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cla_is_exact_exhaustively() {
+        let cla = CarryLookaheadAdder::new(8);
+        for a in 0u64..256 {
+            for b in 0u64..256 {
+                assert_eq!(cla.add(a, b), a + b);
+            }
+        }
+    }
+
+    #[test]
+    fn carries_match_reference() {
+        let cla = CarryLookaheadAdder::new(8);
+        let (a, b) = (0b1011_0101u64, 0b0110_1011u64);
+        let carries = cla.carries(a, b);
+        assert_eq!(carries.len(), 9);
+        // Reference: carry into bit i of the true sum.
+        for i in 0..=8u32 {
+            let partial = (bits::truncate(a, i as usize)) + (bits::truncate(b, i as usize));
+            let expect = partial >> i;
+            assert_eq!(carries[i as usize], expect, "carry into bit {i}");
+        }
+    }
+
+    #[test]
+    fn delay_grows_logarithmically() {
+        let d8 = CarryLookaheadAdder::new(8).hw_cost().delay;
+        let d16 = CarryLookaheadAdder::new(16).hw_cost().delay;
+        let d32 = CarryLookaheadAdder::new(32).hw_cost().delay;
+        assert!(d16 > d8);
+        assert!(d32 > d16);
+        assert!((d16 - d8 - (d32 - d16)).abs() < 1e-9, "constant increment per doubling");
+    }
+
+    #[test]
+    fn faster_but_larger_than_ripple() {
+        use crate::ripple::RippleCarryAdder;
+        let cla = CarryLookaheadAdder::new(16);
+        let rca = RippleCarryAdder::accurate(16);
+        assert!(cla.hw_cost().delay < rca.hw_cost().delay);
+        assert!(cla.hw_cost().area_ge > rca.hw_cost().area_ge);
+    }
+}

@@ -1,0 +1,246 @@
+//! Multi-bit ripple-carry adders with per-bit cell selection.
+//!
+//! This is the lpACLib-style construction the paper uses in its accelerator
+//! case studies: an `N`-bit ripple-carry chain whose `k` least-significant
+//! cells are replaced by one of the approximate full adders of
+//! [`crate::FullAdderKind`], while the upper cells stay accurate. Because
+//! application data concentrates signal energy in the upper bits, the
+//! quality loss is bounded while every approximated cell saves its full
+//! area/power delta.
+//!
+//! # Example
+//!
+//! ```
+//! use xlac_adders::{Adder, RippleCarryAdder, FullAdderKind};
+//!
+//! # fn main() -> Result<(), xlac_core::XlacError> {
+//! let exact = RippleCarryAdder::accurate(8);
+//! assert_eq!(exact.add(123, 45), 168);
+//!
+//! let lp = RippleCarryAdder::with_approx_lsbs(8, FullAdderKind::Apx3, 4)?;
+//! assert!(lp.hw_cost().area_ge < exact.hw_cost().area_ge);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::adder::Adder;
+use crate::full_adder::FullAdderKind;
+use xlac_core::bits;
+use xlac_core::characterization::HwCost;
+use xlac_core::error::{Result, XlacError};
+
+/// A ripple-carry adder built from an explicit per-bit sequence of
+/// full-adder cells (index 0 = LSB).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RippleCarryAdder {
+    cells: Vec<FullAdderKind>,
+}
+
+impl RippleCarryAdder {
+    /// An all-accurate ripple-carry adder of `width` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or exceeds 63.
+    #[must_use]
+    pub fn accurate(width: usize) -> Self {
+        assert!((1..=63).contains(&width), "adder width {width} out of 1..=63");
+        RippleCarryAdder { cells: vec![FullAdderKind::Accurate; width] }
+    }
+
+    /// A `width`-bit adder whose `approx_lsbs` least-significant cells use
+    /// `kind` and whose upper cells are accurate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XlacError::InvalidConfiguration`] when
+    /// `approx_lsbs > width` or `width` is outside `1..=63`.
+    pub fn with_approx_lsbs(width: usize, kind: FullAdderKind, approx_lsbs: usize) -> Result<Self> {
+        if width == 0 || width > 63 {
+            return Err(XlacError::InvalidWidth { width, max: 63 });
+        }
+        if approx_lsbs > width {
+            return Err(XlacError::InvalidConfiguration(format!(
+                "{approx_lsbs} approximate LSBs exceed the {width}-bit width"
+            )));
+        }
+        let mut cells = vec![kind; approx_lsbs];
+        cells.resize(width, FullAdderKind::Accurate);
+        Ok(RippleCarryAdder { cells })
+    }
+
+    /// An adder from an explicit cell sequence (index 0 = LSB).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XlacError::InvalidWidth`] for empty or > 63-cell chains.
+    pub fn from_cells(cells: Vec<FullAdderKind>) -> Result<Self> {
+        if cells.is_empty() || cells.len() > 63 {
+            return Err(XlacError::InvalidWidth { width: cells.len(), max: 63 });
+        }
+        Ok(RippleCarryAdder { cells })
+    }
+
+    /// The per-bit cell sequence (index 0 = LSB).
+    #[must_use]
+    pub fn cells(&self) -> &[FullAdderKind] {
+        &self.cells
+    }
+
+    /// Number of approximate (non-accurate) cells.
+    #[must_use]
+    pub fn approx_cell_count(&self) -> usize {
+        self.cells.iter().filter(|c| !c.is_accurate()).count()
+    }
+}
+
+impl Adder for RippleCarryAdder {
+    fn width(&self) -> usize {
+        self.cells.len()
+    }
+
+    fn add(&self, a: u64, b: u64) -> u64 {
+        let w = self.cells.len();
+        let a = bits::truncate(a, w);
+        let b = bits::truncate(b, w);
+        let mut carry = 0u64;
+        let mut sum = 0u64;
+        for (i, cell) in self.cells.iter().enumerate() {
+            let (s, c) = cell.eval((a >> i) & 1, (b >> i) & 1, carry);
+            sum |= s << i;
+            carry = c;
+        }
+        sum | (carry << w)
+    }
+
+    fn name(&self) -> String {
+        let approx = self.approx_cell_count();
+        if approx == 0 {
+            format!("RCA(N={})", self.cells.len())
+        } else {
+            // Report the dominant approximate cell for readability.
+            let kind = self.cells.iter().find(|c| !c.is_accurate()).expect("approx > 0");
+            format!("RCA(N={},{}x{})", self.cells.len(), approx, kind)
+        }
+    }
+
+    fn hw_cost(&self) -> HwCost {
+        // Cells are laid out in series along the carry chain: areas and
+        // powers add, and the carry chain sets the delay.
+        self.cells.iter().map(|c| c.hw_cost()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accurate_chain_equals_plus() {
+        let rca = RippleCarryAdder::accurate(8);
+        for a in (0u64..256).step_by(17) {
+            for b in (0u64..256).step_by(13) {
+                assert_eq!(rca.add(a, b), a + b);
+            }
+        }
+    }
+
+    #[test]
+    fn carry_out_appears_in_bit_width() {
+        let rca = RippleCarryAdder::accurate(4);
+        assert_eq!(rca.add(0xF, 0x1), 0x10);
+    }
+
+    #[test]
+    fn zero_approx_lsbs_is_exact() {
+        let rca = RippleCarryAdder::with_approx_lsbs(8, FullAdderKind::Apx5, 0).unwrap();
+        for (a, b) in [(255u64, 255u64), (0, 0), (170, 85)] {
+            assert_eq!(rca.add(a, b), a + b);
+        }
+    }
+
+    #[test]
+    fn approximate_lsbs_leave_upper_bits_intact_when_no_cross_carry() {
+        // Operands with zero low nibbles never exercise the approximate
+        // cells' error cases in a way that crosses into the upper bits for
+        // cells whose (0,0,0) row is exact.
+        let rca = RippleCarryAdder::with_approx_lsbs(8, FullAdderKind::Apx1, 4).unwrap();
+        assert_eq!(rca.add(0xA0, 0x30), 0xD0);
+    }
+
+    #[test]
+    fn apx5_lsbs_pass_operand_b_through() {
+        // With ApxFA5 in the low k bits, sum bit i = b_i and the carry into
+        // bit k equals a_{k-1}.
+        let rca = RippleCarryAdder::with_approx_lsbs(8, FullAdderKind::Apx5, 4).unwrap();
+        let a = 0b0000_1010u64;
+        let b = 0b0000_0110u64;
+        let sum = rca.add(a, b);
+        assert_eq!(sum & 0xF, b & 0xF, "low bits mirror operand B");
+        // Carry into bit 4 is a_3 = 1.
+        assert_eq!(sum >> 4, 1);
+    }
+
+    #[test]
+    fn error_is_bounded_by_approximated_prefix() {
+        // Any error introduced by the k approximate LSBs is below
+        // 2^(k+1): the worst case is a wrong carry into bit k plus wrong
+        // low bits.
+        for kind in FullAdderKind::APPROXIMATE {
+            let k = 4usize;
+            let rca = RippleCarryAdder::with_approx_lsbs(10, kind, k).unwrap();
+            for a in (0u64..1024).step_by(7) {
+                for b in (0u64..1024).step_by(11) {
+                    let err = rca.add(a, b).abs_diff(a + b);
+                    assert!(err < 1 << (k + 1), "{kind}: err {err} at {a}+{b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn more_approx_cells_cost_less() {
+        let costs: Vec<f64> = (0..=8)
+            .map(|k| {
+                RippleCarryAdder::with_approx_lsbs(8, FullAdderKind::Apx4, k)
+                    .unwrap()
+                    .hw_cost()
+                    .area_ge
+            })
+            .collect();
+        for pair in costs.windows(2) {
+            assert!(pair[1] < pair[0], "area must strictly decrease: {costs:?}");
+        }
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(RippleCarryAdder::with_approx_lsbs(8, FullAdderKind::Apx1, 9).is_err());
+        assert!(RippleCarryAdder::with_approx_lsbs(0, FullAdderKind::Apx1, 0).is_err());
+        assert!(RippleCarryAdder::from_cells(vec![]).is_err());
+    }
+
+    #[test]
+    fn name_reports_configuration() {
+        let rca = RippleCarryAdder::with_approx_lsbs(8, FullAdderKind::Apx2, 3).unwrap();
+        assert_eq!(rca.name(), "RCA(N=8,3xApxFA2)");
+        assert_eq!(RippleCarryAdder::accurate(8).name(), "RCA(N=8)");
+    }
+
+    #[test]
+    fn mixed_cell_chain() {
+        let rca = RippleCarryAdder::from_cells(vec![
+            FullAdderKind::Apx5,
+            FullAdderKind::Apx3,
+            FullAdderKind::Accurate,
+            FullAdderKind::Accurate,
+        ])
+        .unwrap();
+        assert_eq!(rca.width(), 4);
+        assert_eq!(rca.approx_cell_count(), 2);
+        // Bit 0 (ApxFA5, inputs 0,0,–) is exact here, but bit 1 hits
+        // ApxFA3's (0,0,0) error row, where sum = !cout = 1:
+        // 0b1000 + 0b0100 = 0b1110 on this chain instead of 0b1100.
+        assert_eq!(rca.add(0b1000, 0b0100), 0b1110);
+    }
+}

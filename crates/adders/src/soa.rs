@@ -1,0 +1,261 @@
+//! Additional state-of-the-art approximate adders for baseline
+//! comparisons: LOA and the truncated adder.
+//!
+//! GeAr generalizes the carry-prediction family (ACA-I/II, ETAII, GDA —
+//! see [`crate::GeArAdder`]'s constructors); the other major family cuts
+//! the *lower part* of the addition entirely. The two classics:
+//!
+//! * [`LoaAdder`] — the Lower-part OR Adder (Mahdiani et al.): the low
+//!   `k` sum bits are computed by a bitwise OR (one OR gate per bit, no
+//!   carry chain), with one AND gate feeding the upper accurate part's
+//!   carry-in from the top lower-part bit.
+//! * [`TruncatedAdder`] — the low `k` result bits are constants
+//!   (all-ones, the expected-error-minimizing choice) and the upper part
+//!   adds the upper operand bits exactly. Zero logic in the lower part.
+//!
+//! Both plug into every accelerator in the workspace through the
+//! [`Adder`] trait, widening the baseline set of the benches.
+//!
+//! # Example
+//!
+//! ```
+//! use xlac_adders::{Adder, LoaAdder, TruncatedAdder};
+//!
+//! # fn main() -> Result<(), xlac_core::XlacError> {
+//! let loa = LoaAdder::new(8, 3)?;
+//! assert_eq!(loa.add(0b1010_0000, 0b0100_0000), 0b1110_0000); // upper exact
+//! let tra = TruncatedAdder::new(8, 3)?;
+//! assert_eq!(tra.add(0, 0) & 0b111, 0b111); // low bits forced to 1
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::adder::Adder;
+use crate::full_adder::FullAdderKind;
+use xlac_core::bits;
+use xlac_core::characterization::HwCost;
+use xlac_core::error::{Result, XlacError};
+
+fn check_split(width: usize, lower: usize) -> Result<()> {
+    if width == 0 || width > 63 {
+        return Err(XlacError::InvalidWidth { width, max: 63 });
+    }
+    if lower > width {
+        return Err(XlacError::InvalidConfiguration(format!(
+            "lower part of {lower} bits exceeds the {width}-bit width"
+        )));
+    }
+    Ok(())
+}
+
+/// The Lower-part OR Adder: low bits OR'ed, upper bits exact, carry-in
+/// from the AND of the top lower-part bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoaAdder {
+    width: usize,
+    lower: usize,
+}
+
+impl LoaAdder {
+    /// Creates an LOA with `lower` OR'ed low bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XlacError::InvalidConfiguration`] when `lower > width`
+    /// or the width is out of `1..=63`.
+    pub fn new(width: usize, lower: usize) -> Result<Self> {
+        check_split(width, lower)?;
+        Ok(LoaAdder { width, lower })
+    }
+
+    /// Number of OR'ed low bits.
+    #[must_use]
+    pub fn lower_bits(&self) -> usize {
+        self.lower
+    }
+}
+
+impl Adder for LoaAdder {
+    fn width(&self) -> usize {
+        self.width
+    }
+
+    fn add(&self, a: u64, b: u64) -> u64 {
+        let a = bits::truncate(a, self.width);
+        let b = bits::truncate(b, self.width);
+        if self.lower == 0 {
+            return a + b;
+        }
+        let low = (a | b) & bits::mask(self.lower);
+        let cin = if self.lower == 0 {
+            0
+        } else {
+            bits::bit(a, self.lower - 1) & bits::bit(b, self.lower - 1)
+        };
+        let high = (a >> self.lower) + (b >> self.lower) + cin;
+        low | (high << self.lower)
+    }
+
+    fn name(&self) -> String {
+        format!("LOA(N={},L={})", self.width, self.lower)
+    }
+
+    fn hw_cost(&self) -> HwCost {
+        // Lower part: one OR per bit plus the carry-generation AND;
+        // upper part: an accurate ripple chain.
+        let or_gate = HwCost { area_ge: 1.33, power_nw: 60.0, delay: 1.5 };
+        let and_gate = HwCost { area_ge: 1.33, power_nw: 60.0, delay: 1.5 };
+        let upper = FullAdderKind::Accurate.hw_cost() * (self.width - self.lower) as f64;
+        or_gate * self.lower as f64 + and_gate + upper
+    }
+}
+
+/// The truncated adder: low result bits constant-one, upper bits exact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TruncatedAdder {
+    width: usize,
+    truncated: usize,
+}
+
+impl TruncatedAdder {
+    /// Creates a truncated adder with `truncated` constant low bits.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`LoaAdder::new`].
+    pub fn new(width: usize, truncated: usize) -> Result<Self> {
+        check_split(width, truncated)?;
+        Ok(TruncatedAdder { width, truncated })
+    }
+
+    /// Number of truncated low bits.
+    #[must_use]
+    pub fn truncated_bits(&self) -> usize {
+        self.truncated
+    }
+}
+
+impl Adder for TruncatedAdder {
+    fn width(&self) -> usize {
+        self.width
+    }
+
+    fn add(&self, a: u64, b: u64) -> u64 {
+        let a = bits::truncate(a, self.width);
+        let b = bits::truncate(b, self.width);
+        if self.truncated == 0 {
+            return a + b;
+        }
+        let low = bits::mask(self.truncated);
+        let high = (a >> self.truncated) + (b >> self.truncated);
+        low | (high << self.truncated)
+    }
+
+    fn name(&self) -> String {
+        format!("TruA(N={},T={})", self.width, self.truncated)
+    }
+
+    fn hw_cost(&self) -> HwCost {
+        // The truncated bits cost nothing; the upper chain is accurate.
+        FullAdderKind::Accurate.hw_cost() * (self.width - self.truncated) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xlac_core::metrics::exhaustive_binary;
+
+    #[test]
+    fn loa_with_zero_lower_is_exact() {
+        let loa = LoaAdder::new(8, 0).unwrap();
+        for (a, b) in [(255u64, 255u64), (17, 42), (0, 0)] {
+            assert_eq!(loa.add(a, b), a + b);
+        }
+    }
+
+    #[test]
+    fn loa_upper_part_is_exact_when_lower_is_quiet() {
+        let loa = LoaAdder::new(8, 3).unwrap();
+        // Low 3 bits zero on both operands: OR = 0, cin = 0 → exact.
+        assert_eq!(loa.add(0b1010_1000, 0b0101_0000), 0b1010_1000 + 0b0101_0000);
+    }
+
+    #[test]
+    fn loa_error_is_bounded_by_lower_part() {
+        let k = 3usize;
+        let loa = LoaAdder::new(8, k).unwrap();
+        for a in 0u64..256 {
+            for b in 0u64..256 {
+                let err = loa.add(a, b).abs_diff(a + b);
+                assert!(err < 1 << (k + 1), "|{a}+{b}| err {err}");
+            }
+        }
+    }
+
+    #[test]
+    fn loa_carry_generation_bit_works() {
+        let loa = LoaAdder::new(8, 2).unwrap();
+        // a = b = 0b10: top lower-part bits both 1 → carry into bit 2.
+        assert_eq!(loa.add(0b10, 0b10), 0b110); // OR low = 0b10, carry adds 0b100
+    }
+
+    #[test]
+    fn truncated_low_bits_are_constant_ones() {
+        let tra = TruncatedAdder::new(8, 4).unwrap();
+        for (a, b) in [(0u64, 0u64), (0xFF, 0xFF), (0x12, 0x34)] {
+            assert_eq!(tra.add(a, b) & 0xF, 0xF);
+        }
+    }
+
+    #[test]
+    fn truncated_upper_part_is_exact() {
+        let tra = TruncatedAdder::new(8, 4).unwrap();
+        let sum = tra.add(0xA0, 0x30);
+        assert_eq!(sum >> 4, (0xA0u64 >> 4) + (0x30 >> 4));
+    }
+
+    #[test]
+    fn quality_ordering_loa_beats_truncation() {
+        // LOA keeps data-dependent low bits, truncation throws them away:
+        // at equal split the LOA has lower mean error distance.
+        let loa = LoaAdder::new(8, 4).unwrap();
+        let tra = TruncatedAdder::new(8, 4).unwrap();
+        let s_loa = exhaustive_binary(8, 8, |a, b| a + b, |a, b| loa.add(a, b));
+        let s_tra = exhaustive_binary(8, 8, |a, b| a + b, |a, b| tra.add(a, b));
+        assert!(s_loa.mean_error_distance < s_tra.mean_error_distance);
+    }
+
+    #[test]
+    fn cost_ordering_truncation_beats_loa() {
+        // …and the converse on cost: truncation is cheaper than LOA,
+        // which is cheaper than the accurate chain.
+        let acc = crate::ripple::RippleCarryAdder::accurate(8).hw_cost();
+        let loa = LoaAdder::new(8, 4).unwrap().hw_cost();
+        let tra = TruncatedAdder::new(8, 4).unwrap().hw_cost();
+        assert!(tra.area_ge < loa.area_ge);
+        assert!(loa.area_ge < acc.area_ge);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(LoaAdder::new(8, 9).is_err());
+        assert!(LoaAdder::new(0, 0).is_err());
+        assert!(TruncatedAdder::new(8, 9).is_err());
+        assert!(TruncatedAdder::new(64, 0).is_err());
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(LoaAdder::new(8, 3).unwrap().name(), "LOA(N=8,L=3)");
+        assert_eq!(TruncatedAdder::new(8, 3).unwrap().name(), "TruA(N=8,T=3)");
+    }
+
+    #[test]
+    fn adders_compose_into_subtractors() {
+        use crate::subtractor::Subtractor;
+        let sub = Subtractor::new(LoaAdder::new(8, 2).unwrap());
+        let err = sub.abs_diff(200, 55).abs_diff(145);
+        assert!(err < 16);
+    }
+}

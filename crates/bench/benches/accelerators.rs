@@ -1,0 +1,77 @@
+//! Criterion micro-benchmarks: accelerator-level workloads — SAD blocks,
+//! motion-estimation block search, low-pass filtering and the synthesis
+//! flow itself.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use xlac_accel::filter::FilterAccelerator;
+use xlac_accel::sad::{SadAccelerator, SadVariant};
+use xlac_adders::FullAdderKind;
+use xlac_core::Grid;
+use xlac_imaging::images::TestImage;
+use xlac_logic::synth::synthesize;
+use xlac_video::me::MotionEstimator;
+use xlac_video::sequence::{SequenceConfig, SyntheticSequence};
+
+fn bench_sad(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sad_64_lane");
+    let cur: Vec<u64> = (0..64).map(|i| (i * 37 + 11) % 256).collect();
+    let refb: Vec<u64> = (0..64).map(|i| (i * 53 + 7) % 256).collect();
+    for (name, variant, lsbs) in [
+        ("accurate", SadVariant::Accurate, 0usize),
+        ("apx3_lsb4", SadVariant::ApxSad3, 4),
+        ("apx5_lsb6", SadVariant::ApxSad5, 6),
+    ] {
+        let sad = SadAccelerator::new(64, variant, lsbs).unwrap();
+        group.bench_function(name, |b| {
+            b.iter(|| sad.sad(black_box(&cur), black_box(&refb)).unwrap())
+        });
+    }
+    group.bench_function("software_reference", |b| {
+        b.iter(|| SadAccelerator::sad_exact(black_box(&cur), black_box(&refb)))
+    });
+    group.finish();
+}
+
+fn bench_motion_estimation(c: &mut Criterion) {
+    let seq = SyntheticSequence::generate(&SequenceConfig::small_test()).unwrap();
+    let cur = seq.frames()[1].clone();
+    let reff = seq.frames()[0].clone();
+    let mut group = c.benchmark_group("motion_estimation_64x64");
+    group.sample_size(20);
+    for (name, variant, lsbs) in
+        [("accurate", SadVariant::Accurate, 0usize), ("apx3_lsb4", SadVariant::ApxSad3, 4)]
+    {
+        let me = MotionEstimator::new(SadAccelerator::new(64, variant, lsbs).unwrap(), 4).unwrap();
+        group.bench_function(name, |b| {
+            b.iter(|| me.estimate(black_box(&cur), black_box(&reff)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_filter(c: &mut Criterion) {
+    let img: Grid<u64> = TestImage::Clouds.render(64);
+    let mut group = c.benchmark_group("lowpass_64x64");
+    let exact = FilterAccelerator::accurate().unwrap();
+    let approx = FilterAccelerator::new(FullAdderKind::Apx3, 4).unwrap();
+    group.bench_function("accurate", |b| b.iter(|| exact.apply(black_box(&img)).unwrap()));
+    group.bench_function("apx3_lsb4", |b| b.iter(|| approx.apply(black_box(&img)).unwrap()));
+    group.finish();
+}
+
+fn bench_synthesis(c: &mut Criterion) {
+    // The DC-substitute itself: QM synthesis of the full-adder cells.
+    let mut group = c.benchmark_group("synthesis_flow");
+    group.bench_function("qm_full_adder", |b| {
+        let tt = FullAdderKind::Accurate.truth_table();
+        b.iter(|| synthesize("fa", black_box(&tt)).unwrap())
+    });
+    group.bench_function("power_estimation_4k_vectors", |b| {
+        let nl = FullAdderKind::Accurate.structural_netlist();
+        b.iter(|| black_box(nl.switching_power(4096, 1)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sad, bench_motion_estimation, bench_filter, bench_synthesis);
+criterion_main!(benches);

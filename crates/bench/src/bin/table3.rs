@@ -1,0 +1,73 @@
+//! Table III reproduction: truth tables and characterization of the
+//! accurate and the five IMPACT approximate 1-bit full adders.
+//!
+//! Paper columns: area (GE), power (nW), #error cases — plus our flow's
+//! critical-path delay. Absolute GE/nW values come from the workspace's
+//! normalized cell library, so the comparison target is the *ordering*
+//! and the error-case counts (which must match exactly).
+
+use xlac_adders::FullAdderKind;
+use xlac_bench::{check, header, row, section};
+
+fn main() {
+    section("Table III — 1-bit full adders (IMPACT family)");
+
+    // Truth tables first, exactly as the paper prints them.
+    println!("\ninputs (a b cin) -> (sum cout) per cell:");
+    print!("{:>9}", "a b cin");
+    for kind in FullAdderKind::ALL {
+        print!("{:>9}", kind.to_string());
+    }
+    println!();
+    for abc in 0u64..8 {
+        // Paper row order: A is the most significant listed bit.
+        let (a, b, cin) = ((abc >> 2) & 1, (abc >> 1) & 1, abc & 1);
+        print!("{:>9}", format!("{a} {b} {cin}"));
+        for kind in FullAdderKind::ALL {
+            let (s, c) = kind.eval(a, b, cin);
+            print!("{:>9}", format!("{s} {c}"));
+        }
+        println!();
+    }
+
+    section("characterization (workspace synthesis flow)");
+    header(&[("cell", 8), ("area[GE]", 10), ("power[nW]", 11), ("delay", 7), ("#errors", 8)]);
+    let mut rows = Vec::new();
+    for kind in FullAdderKind::ALL {
+        let cost = kind.hw_cost();
+        rows.push((kind, cost));
+        row(&[
+            (kind.to_string(), 8),
+            (format!("{:.2}", cost.area_ge), 10),
+            (format!("{:.1}", cost.power_nw), 11),
+            (format!("{:.1}", cost.delay), 7),
+            (format!("{}", kind.error_cases()), 8),
+        ]);
+    }
+
+    section("shape checks vs the paper");
+    let mut ok = true;
+    let expected_errors = [0usize, 2, 2, 3, 3, 4];
+    ok &= check(
+        "error-case counts are 0/2/2/3/3/4",
+        FullAdderKind::ALL.iter().zip(expected_errors).all(|(k, e)| k.error_cases() == e),
+    );
+    let acc = FullAdderKind::Accurate.hw_cost();
+    ok &= check(
+        "every approximate cell beats AccuFA on area and power",
+        FullAdderKind::APPROXIMATE
+            .iter()
+            .all(|k| k.hw_cost().area_ge < acc.area_ge && k.hw_cost().power_nw < acc.power_nw),
+    );
+    ok &= check(
+        "ApxFA5 is pure wiring (zero area, zero power)",
+        FullAdderKind::Apx5.hw_cost().area_ge == 0.0
+            && FullAdderKind::Apx5.hw_cost().power_nw == 0.0,
+    );
+    ok &= check(
+        "ApxFA3 is smaller than ApxFA2 and ApxFA4 larger than ApxFA3 (paper's local ordering)",
+        FullAdderKind::Apx3.hw_cost().area_ge < FullAdderKind::Apx2.hw_cost().area_ge
+            && FullAdderKind::Apx4.hw_cost().area_ge > FullAdderKind::Apx3.hw_cost().area_ge,
+    );
+    std::process::exit(i32::from(!ok));
+}

@@ -1,0 +1,39 @@
+//! Small formatting helpers shared by the reproduction binaries.
+
+/// Prints a section heading.
+pub fn section(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+/// Prints a column header row followed by a rule.
+pub fn header(columns: &[(&str, usize)]) {
+    let line: Vec<String> = columns.iter().map(|(name, w)| format!("{name:>w$}")).collect();
+    let text = line.join("  ");
+    println!("{text}");
+    println!("{}", "-".repeat(text.len()));
+}
+
+/// Prints one row of pre-formatted cells with the same widths as the
+/// header.
+pub fn row(cells: &[(String, usize)]) {
+    let line: Vec<String> = cells.iter().map(|(cell, w)| format!("{cell:>w$}")).collect();
+    println!("{}", line.join("  "));
+}
+
+/// Reports a qualitative shape check. Returns `ok` so callers can
+/// aggregate an exit code.
+pub fn check(label: &str, ok: bool) -> bool {
+    println!("[{}] {}", if ok { "SHAPE OK      " } else { "SHAPE DIVERGES" }, label);
+    ok
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_returns_its_flag() {
+        assert!(check("always true", true));
+        assert!(!check("always false", false));
+    }
+}

@@ -1,0 +1,283 @@
+//! Width-aware bit manipulation on `u64` words.
+//!
+//! Hardware arithmetic units have explicit bit widths that rarely coincide
+//! with Rust's integer widths. All xlac arithmetic therefore runs on `u64`
+//! values paired with an explicit `width` in `1..=64`, and these helpers
+//! keep the width bookkeeping in one audited place.
+//!
+//! # Example
+//!
+//! ```
+//! use xlac_core::bits::{bit, mask, to_signed, from_signed};
+//!
+//! assert_eq!(mask(4), 0b1111);
+//! assert_eq!(bit(0b1010, 1), 1);
+//! // 0xF interpreted as a 4-bit two's-complement value is -1.
+//! assert_eq!(to_signed(0xF, 4), -1);
+//! assert_eq!(from_signed(-1, 4), 0xF);
+//! ```
+
+/// Maximum bit width supported by the workspace word type.
+pub const MAX_WIDTH: usize = 64;
+
+/// Returns a mask with the lowest `width` bits set.
+///
+/// # Panics
+///
+/// Panics if `width > 64`.
+#[inline]
+#[must_use]
+pub fn mask(width: usize) -> u64 {
+    assert!(width <= MAX_WIDTH, "width {width} exceeds {MAX_WIDTH}");
+    if width == MAX_WIDTH {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+/// Truncates `value` to its lowest `width` bits.
+///
+/// # Panics
+///
+/// Panics if `width > 64`.
+#[inline]
+#[must_use]
+pub fn truncate(value: u64, width: usize) -> u64 {
+    value & mask(width)
+}
+
+/// Extracts bit `index` of `value` as `0` or `1`.
+#[inline]
+#[must_use]
+pub fn bit(value: u64, index: usize) -> u64 {
+    debug_assert!(index < MAX_WIDTH);
+    (value >> index) & 1
+}
+
+/// Returns `value` with bit `index` forced to `b` (`b` must be 0 or 1).
+#[inline]
+#[must_use]
+pub fn with_bit(value: u64, index: usize, b: u64) -> u64 {
+    debug_assert!(index < MAX_WIDTH);
+    debug_assert!(b <= 1);
+    (value & !(1u64 << index)) | (b << index)
+}
+
+/// Extracts the bit field `value[lo .. lo + len]` (little-endian bit order).
+///
+/// # Panics
+///
+/// Panics if `lo + len > 64`.
+#[inline]
+#[must_use]
+pub fn field(value: u64, lo: usize, len: usize) -> u64 {
+    assert!(lo + len <= MAX_WIDTH, "field [{lo}, {lo}+{len}) exceeds word");
+    truncate(value >> lo, len)
+}
+
+/// Returns `value` with the field `[lo, lo + len)` replaced by the low
+/// `len` bits of `bits`.
+///
+/// # Panics
+///
+/// Panics if `lo + len > 64`.
+#[inline]
+#[must_use]
+pub fn with_field(value: u64, lo: usize, len: usize, bits: u64) -> u64 {
+    assert!(lo + len <= MAX_WIDTH, "field [{lo}, {lo}+{len}) exceeds word");
+    let m = mask(len) << lo;
+    (value & !m) | ((bits << lo) & m)
+}
+
+/// Returns `true` when `value` fits in `width` bits.
+#[inline]
+#[must_use]
+pub fn fits(value: u64, width: usize) -> bool {
+    width >= MAX_WIDTH || value <= mask(width)
+}
+
+/// Interprets the low `width` bits of `value` as a two's-complement signed
+/// integer.
+///
+/// # Panics
+///
+/// Panics if `width == 0` or `width > 64`.
+#[inline]
+#[must_use]
+pub fn to_signed(value: u64, width: usize) -> i64 {
+    assert!((1..=MAX_WIDTH).contains(&width), "width {width} out of range");
+    let v = truncate(value, width);
+    // Sign-extend by shifting the sign bit into position 63 and back
+    // (avoids the `1 << 63` overflow a subtraction-based formulation hits
+    // at width 63).
+    let shift = (MAX_WIDTH - width) as u32;
+    ((v << shift) as i64) >> shift
+}
+
+/// Encodes a signed integer into `width` bits of two's complement.
+///
+/// Values outside the representable range wrap (hardware semantics).
+///
+/// # Panics
+///
+/// Panics if `width == 0` or `width > 64`.
+#[inline]
+#[must_use]
+pub fn from_signed(value: i64, width: usize) -> u64 {
+    assert!((1..=MAX_WIDTH).contains(&width), "width {width} out of range");
+    truncate(value as u64, width)
+}
+
+/// Absolute difference of two unsigned words — the per-pixel primitive of a
+/// SAD (sum of absolute differences) datapath.
+#[inline]
+#[must_use]
+pub fn abs_diff(a: u64, b: u64) -> u64 {
+    a.abs_diff(b)
+}
+
+/// Number of bits needed to represent `value` (`0` needs 1 bit).
+#[inline]
+#[must_use]
+pub fn width_of(value: u64) -> usize {
+    if value == 0 {
+        1
+    } else {
+        (MAX_WIDTH - value.leading_zeros() as usize).max(1)
+    }
+}
+
+/// Iterates the bits of `value` from LSB (index 0) to bit `width - 1`.
+///
+/// # Example
+///
+/// ```
+/// let bits: Vec<u64> = xlac_core::bits::iter_bits(0b1011, 4).collect();
+/// assert_eq!(bits, [1, 1, 0, 1]);
+/// ```
+pub fn iter_bits(value: u64, width: usize) -> impl Iterator<Item = u64> {
+    (0..width).map(move |i| bit(value, i))
+}
+
+/// Assembles a word from bits given LSB-first.
+///
+/// # Panics
+///
+/// Panics if more than 64 bits are supplied or any bit is not 0/1.
+#[must_use]
+pub fn from_bits<I: IntoIterator<Item = u64>>(bits: I) -> u64 {
+    let mut word = 0u64;
+    for (n, b) in bits.into_iter().enumerate() {
+        assert!(b <= 1, "bit value {b} is not 0 or 1");
+        assert!(n < MAX_WIDTH, "more than {MAX_WIDTH} bits supplied");
+        word |= b << n;
+    }
+    word
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mask_edges() {
+        assert_eq!(mask(0), 0);
+        assert_eq!(mask(1), 1);
+        assert_eq!(mask(8), 0xFF);
+        assert_eq!(mask(63), u64::MAX >> 1);
+        assert_eq!(mask(64), u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn mask_rejects_over_width() {
+        let _ = mask(65);
+    }
+
+    #[test]
+    fn truncate_keeps_low_bits() {
+        assert_eq!(truncate(0xABCD, 8), 0xCD);
+        assert_eq!(truncate(u64::MAX, 64), u64::MAX);
+        assert_eq!(truncate(0xFF, 0), 0);
+    }
+
+    #[test]
+    fn bit_get_set() {
+        assert_eq!(bit(0b100, 2), 1);
+        assert_eq!(bit(0b100, 1), 0);
+        assert_eq!(with_bit(0, 3, 1), 0b1000);
+        assert_eq!(with_bit(0b1111, 0, 0), 0b1110);
+    }
+
+    #[test]
+    fn field_roundtrip() {
+        let v = 0b1101_0110;
+        assert_eq!(field(v, 2, 4), 0b0101);
+        let w = with_field(v, 2, 4, 0b1010);
+        assert_eq!(field(w, 2, 4), 0b1010);
+        // Untouched bits preserved.
+        assert_eq!(w & 0b11, v & 0b11);
+        assert_eq!(w >> 6, v >> 6);
+    }
+
+    #[test]
+    fn field_at_word_top() {
+        assert_eq!(field(u64::MAX, 60, 4), 0xF);
+        assert_eq!(with_field(0, 60, 4, 0xF), 0xF << 60);
+    }
+
+    #[test]
+    fn signed_roundtrip_all_4bit_values() {
+        for v in 0u64..16 {
+            let s = to_signed(v, 4);
+            assert!((-8..=7).contains(&s));
+            assert_eq!(from_signed(s, 4), v);
+        }
+    }
+
+    #[test]
+    fn signed_full_width() {
+        assert_eq!(to_signed(u64::MAX, 64), -1);
+        assert_eq!(from_signed(-1, 64), u64::MAX);
+        assert_eq!(to_signed(0x7FFF_FFFF_FFFF_FFFF, 64), i64::MAX);
+    }
+
+    #[test]
+    fn fits_checks_range() {
+        assert!(fits(255, 8));
+        assert!(!fits(256, 8));
+        assert!(fits(u64::MAX, 64));
+    }
+
+    #[test]
+    fn abs_diff_symmetric() {
+        assert_eq!(abs_diff(10, 3), 7);
+        assert_eq!(abs_diff(3, 10), 7);
+        assert_eq!(abs_diff(5, 5), 0);
+    }
+
+    #[test]
+    fn width_of_values() {
+        assert_eq!(width_of(0), 1);
+        assert_eq!(width_of(1), 1);
+        assert_eq!(width_of(2), 2);
+        assert_eq!(width_of(255), 8);
+        assert_eq!(width_of(256), 9);
+        assert_eq!(width_of(u64::MAX), 64);
+    }
+
+    #[test]
+    fn bits_roundtrip() {
+        for v in [0u64, 1, 0b1011, 0xDEAD_BEEF] {
+            let w = width_of(v);
+            assert_eq!(from_bits(iter_bits(v, w)), v);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not 0 or 1")]
+    fn from_bits_rejects_non_bits() {
+        let _ = from_bits([2u64]);
+    }
+}

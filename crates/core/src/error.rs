@@ -1,0 +1,118 @@
+//! The workspace-wide error type.
+
+use std::fmt;
+
+/// Errors produced by fallible constructors and operations across the
+/// `xlac` workspace.
+///
+/// Variants carry enough context to explain *which* invariant a caller
+/// violated; library-internal invariants are guarded by `debug_assert!`
+/// instead of this type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum XlacError {
+    /// A bit width was zero or exceeded the 64-bit word the workspace
+    /// operates on.
+    InvalidWidth {
+        /// The offending width.
+        width: usize,
+        /// Maximum width the operation supports.
+        max: usize,
+    },
+    /// An operand did not fit in the declared width.
+    OperandOutOfRange {
+        /// The operand value.
+        value: u64,
+        /// The declared width in bits.
+        width: usize,
+    },
+    /// A configuration parameter combination is invalid
+    /// (e.g. a GeAr `(N, R, P)` triple with `(N - L) % R != 0`).
+    InvalidConfiguration(String),
+    /// A 2-D shape mismatch (grid, image or frame dimensions disagree).
+    ShapeMismatch {
+        /// Expected `(rows, cols)`.
+        expected: (usize, usize),
+        /// Received `(rows, cols)`.
+        actual: (usize, usize),
+    },
+    /// An index was outside the container bounds.
+    IndexOutOfBounds {
+        /// The offending index `(row, col)`.
+        index: (usize, usize),
+        /// The container shape `(rows, cols)`.
+        shape: (usize, usize),
+    },
+    /// A netlist was structurally ill-formed (dangling wire, cycle, missing
+    /// output driver).
+    MalformedNetlist(String),
+    /// A required input (empty collection, zero samples) was missing.
+    EmptyInput(&'static str),
+}
+
+impl fmt::Display for XlacError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XlacError::InvalidWidth { width, max } => {
+                write!(f, "invalid bit width {width}: must be in 1..={max}")
+            }
+            XlacError::OperandOutOfRange { value, width } => {
+                write!(f, "operand {value:#x} does not fit in {width} bits")
+            }
+            XlacError::InvalidConfiguration(msg) => {
+                write!(f, "invalid configuration: {msg}")
+            }
+            XlacError::ShapeMismatch { expected, actual } => write!(
+                f,
+                "shape mismatch: expected {}x{}, got {}x{}",
+                expected.0, expected.1, actual.0, actual.1
+            ),
+            XlacError::IndexOutOfBounds { index, shape } => write!(
+                f,
+                "index ({}, {}) out of bounds for shape {}x{}",
+                index.0, index.1, shape.0, shape.1
+            ),
+            XlacError::MalformedNetlist(msg) => write!(f, "malformed netlist: {msg}"),
+            XlacError::EmptyInput(what) => write!(f, "empty input: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for XlacError {}
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, XlacError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = XlacError::InvalidWidth { width: 0, max: 64 };
+        assert_eq!(e.to_string(), "invalid bit width 0: must be in 1..=64");
+
+        let e = XlacError::OperandOutOfRange { value: 0x100, width: 8 };
+        assert!(e.to_string().contains("0x100"));
+        assert!(e.to_string().contains("8 bits"));
+
+        let e = XlacError::ShapeMismatch { expected: (2, 3), actual: (4, 5) };
+        assert_eq!(e.to_string(), "shape mismatch: expected 2x3, got 4x5");
+
+        let e = XlacError::IndexOutOfBounds { index: (9, 9), shape: (3, 3) };
+        assert!(e.to_string().starts_with("index (9, 9)"));
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_bounds<T: Send + Sync + 'static>() {}
+        assert_bounds::<XlacError>();
+    }
+
+    #[test]
+    fn error_trait_object_usable() {
+        let e: Box<dyn std::error::Error + Send + Sync> =
+            Box::new(XlacError::EmptyInput("samples"));
+        assert_eq!(e.to_string(), "empty input: samples");
+    }
+}

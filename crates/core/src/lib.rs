@@ -1,0 +1,51 @@
+//! # xlac-core — shared foundations for the `xlac` workspace
+//!
+//! This crate hosts the small, dependency-light vocabulary that every other
+//! crate in the cross-layer approximate-computing workspace builds on:
+//!
+//! * [`bits`] — width-aware bit manipulation on `u64` words (masking,
+//!   extraction, two's-complement interpretation). Approximate arithmetic
+//!   units operate on explicit bit widths, not on Rust's native integer
+//!   widths, so these helpers appear everywhere.
+//! * [`grid`] — a dense row-major 2-D array, [`grid::Grid`], used for images,
+//!   video frames and SAD search surfaces.
+//! * [`metrics`] — error statistics ([`metrics::ErrorStats`]) for comparing
+//!   an approximate operator against its exact reference: error rate, mean /
+//!   max error distance, mean relative error distance, and helpers to gather
+//!   them exhaustively or by sampling.
+//! * [`characterization`] — hardware-cost records
+//!   ([`characterization::HwCost`]) holding area in gate equivalents, power
+//!   in nanowatts and delay in gate-delay units, plus
+//!   [`characterization::ComponentProfile`] bundling cost with quality.
+//! * [`taxonomy`] — a queryable encoding of the survey classification from
+//!   Tables I and II of the paper (approximation categories, stack layers and
+//!   the surveyed techniques).
+//! * [`error`] — the workspace error type [`error::XlacError`].
+//!
+//! # Example
+//!
+//! ```
+//! use xlac_core::bits::{mask, truncate};
+//! use xlac_core::metrics::ErrorStats;
+//!
+//! // Gather error statistics of "drop the lowest two bits" on 6-bit values.
+//! let stats = ErrorStats::from_pairs((0u64..64).map(|x| (x, x & !0b11)));
+//! assert_eq!(stats.max_error_distance, 3);
+//! assert_eq!(mask(6), 63);
+//! assert_eq!(truncate(0x1ff, 8), 0xff);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bits;
+pub mod characterization;
+pub mod error;
+pub mod grid;
+pub mod metrics;
+pub mod taxonomy;
+
+pub use characterization::{ComponentProfile, HwCost};
+pub use error::XlacError;
+pub use grid::Grid;
+pub use metrics::ErrorStats;

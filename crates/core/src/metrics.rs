@@ -1,0 +1,289 @@
+//! Error statistics for approximate operators.
+//!
+//! Approximate-computing papers report a small, standard set of quality
+//! figures: *error rate* (fraction of inputs producing a wrong output),
+//! *error distance* statistics (mean / max of `|approx − exact|`, after
+//! Liang et al.), *mean relative error distance* (MRED) and *error bias*
+//! (signed mean, which determines whether a consolidated correction offset
+//! exists — see the CEC unit in `xlac-accel`).
+//!
+//! [`ErrorStats`] gathers all of them in one pass, from any stream of
+//! `(exact, approximate)` pairs. The [`exhaustive_binary`] and
+//! [`sampled_binary`] helpers drive 2-operand units over their full or
+//! sampled input space.
+//!
+//! # Example
+//!
+//! ```
+//! use xlac_core::metrics::{exhaustive_binary, ErrorStats};
+//!
+//! // A 4-bit adder that drops the carry into bit 2 (toy example).
+//! let approx = |a: u64, b: u64| ((a + b) & 0b11) | (((a >> 2) + (b >> 2)) << 2);
+//! let exact = |a: u64, b: u64| a + b;
+//! let stats = exhaustive_binary(4, 4, exact, approx);
+//! assert!(stats.error_rate > 0.0 && stats.error_rate < 1.0);
+//! ```
+
+use crate::error::{Result, XlacError};
+use std::collections::BTreeSet;
+
+/// Aggregate error statistics of an approximate operator versus its exact
+/// reference.
+///
+/// All distances are computed on unsigned magnitudes
+/// `|approx − exact|`; the signed mean (`mean_signed_error`) keeps the
+/// direction for bias analysis.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ErrorStats {
+    /// Number of `(exact, approx)` pairs observed.
+    pub samples: u64,
+    /// Number of pairs with `approx != exact`.
+    pub error_count: u64,
+    /// `error_count / samples`.
+    pub error_rate: f64,
+    /// Mean of `|approx − exact|` over all samples (erroneous or not).
+    pub mean_error_distance: f64,
+    /// Maximum of `|approx − exact|`.
+    pub max_error_distance: u64,
+    /// Mean of `(approx − exact)` — negative when the operator
+    /// under-estimates on average.
+    pub mean_signed_error: f64,
+    /// Mean of `|approx − exact| / max(exact, 1)` (MRED).
+    pub mean_relative_error: f64,
+    /// The set of distinct nonzero error magnitudes observed. Bounded in
+    /// size (the collector keeps at most [`ErrorStats::MAX_DISTINCT`]); when
+    /// the bound is hit, [`ErrorStats::distinct_saturated`] is set.
+    pub distinct_error_values: BTreeSet<u64>,
+    /// `true` when `distinct_error_values` stopped collecting.
+    pub distinct_saturated: bool,
+}
+
+impl ErrorStats {
+    /// Cap on the number of distinct error magnitudes tracked.
+    pub const MAX_DISTINCT: usize = 4096;
+
+    /// Gathers statistics from an iterator of `(exact, approximate)` pairs.
+    ///
+    /// An empty iterator yields the all-zero statistics of a perfect
+    /// operator over zero samples (use [`ErrorStats::try_from_pairs`] to
+    /// treat that as an error instead).
+    #[must_use]
+    pub fn from_pairs<I: IntoIterator<Item = (u64, u64)>>(pairs: I) -> Self {
+        let mut samples = 0u64;
+        let mut error_count = 0u64;
+        let mut sum_dist = 0.0f64;
+        let mut sum_signed = 0.0f64;
+        let mut sum_rel = 0.0f64;
+        let mut max_dist = 0u64;
+        let mut distinct = BTreeSet::new();
+        let mut saturated = false;
+
+        for (exact, approx) in pairs {
+            samples += 1;
+            let dist = exact.abs_diff(approx);
+            if dist != 0 {
+                error_count += 1;
+                if !saturated {
+                    distinct.insert(dist);
+                    saturated = distinct.len() >= Self::MAX_DISTINCT;
+                }
+            }
+            sum_dist += dist as f64;
+            sum_signed += approx as f64 - exact as f64;
+            sum_rel += dist as f64 / (exact.max(1)) as f64;
+            max_dist = max_dist.max(dist);
+        }
+
+        let n = samples.max(1) as f64;
+        ErrorStats {
+            samples,
+            error_count,
+            error_rate: error_count as f64 / n,
+            mean_error_distance: sum_dist / n,
+            max_error_distance: max_dist,
+            mean_signed_error: sum_signed / n,
+            mean_relative_error: sum_rel / n,
+            distinct_error_values: distinct,
+            distinct_saturated: saturated,
+        }
+    }
+
+    /// Like [`ErrorStats::from_pairs`] but rejects an empty input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XlacError::EmptyInput`] when the iterator yields nothing.
+    pub fn try_from_pairs<I: IntoIterator<Item = (u64, u64)>>(pairs: I) -> Result<Self> {
+        let stats = Self::from_pairs(pairs);
+        if stats.samples == 0 {
+            Err(XlacError::EmptyInput("error statistics sample stream"))
+        } else {
+            Ok(stats)
+        }
+    }
+
+    /// Accuracy percentage `(1 − error_rate) · 100`, the figure Table IV of
+    /// the paper reports for GeAr configurations.
+    #[must_use]
+    pub fn accuracy_percent(&self) -> f64 {
+        (1.0 - self.error_rate) * 100.0
+    }
+
+    /// `true` when the operator never erred on the observed samples.
+    #[must_use]
+    pub fn is_exact(&self) -> bool {
+        self.error_count == 0
+    }
+}
+
+/// Exhaustively evaluates a 2-operand unit over all
+/// `2^width_a · 2^width_b` input pairs.
+///
+/// Suitable for widths up to ~12+12 bits (16 M pairs); beyond that use
+/// [`sampled_binary`].
+///
+/// # Panics
+///
+/// Panics if `width_a + width_b > 30` (guard against accidental 2^40+ loops).
+pub fn exhaustive_binary<E, A>(width_a: usize, width_b: usize, mut exact: E, mut approx: A) -> ErrorStats
+where
+    E: FnMut(u64, u64) -> u64,
+    A: FnMut(u64, u64) -> u64,
+{
+    assert!(
+        width_a + width_b <= 30,
+        "exhaustive space 2^{} too large; use sampled_binary",
+        width_a + width_b
+    );
+    let na = 1u64 << width_a;
+    let nb = 1u64 << width_b;
+    ErrorStats::from_pairs(
+        (0..na).flat_map(|a| (0..nb).map(move |b| (a, b))).map(|(a, b)| (exact(a, b), approx(a, b))),
+    )
+}
+
+/// Evaluates a 2-operand unit on `samples` uniformly random input pairs.
+pub fn sampled_binary<E, A, R>(
+    width_a: usize,
+    width_b: usize,
+    samples: u64,
+    rng: &mut R,
+    mut exact: E,
+    mut approx: A,
+) -> ErrorStats
+where
+    E: FnMut(u64, u64) -> u64,
+    A: FnMut(u64, u64) -> u64,
+    R: rand::Rng,
+{
+    let ma = crate::bits::mask(width_a);
+    let mb = crate::bits::mask(width_b);
+    ErrorStats::from_pairs((0..samples).map(|_| {
+        let a = rng.gen::<u64>() & ma;
+        let b = rng.gen::<u64>() & mb;
+        (exact(a, b), approx(a, b))
+    }))
+}
+
+/// Exhaustively evaluates a 1-operand unit over all `2^width` inputs.
+///
+/// # Panics
+///
+/// Panics if `width > 24`.
+pub fn exhaustive_unary<E, A>(width: usize, mut exact: E, mut approx: A) -> ErrorStats
+where
+    E: FnMut(u64) -> u64,
+    A: FnMut(u64) -> u64,
+{
+    assert!(width <= 24, "exhaustive space 2^{width} too large");
+    ErrorStats::from_pairs((0..(1u64 << width)).map(|x| (exact(x), approx(x))))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn perfect_operator_has_zero_errors() {
+        let s = exhaustive_binary(4, 4, |a, b| a + b, |a, b| a + b);
+        assert_eq!(s.samples, 256);
+        assert!(s.is_exact());
+        assert_eq!(s.error_rate, 0.0);
+        assert_eq!(s.accuracy_percent(), 100.0);
+        assert!(s.distinct_error_values.is_empty());
+    }
+
+    #[test]
+    fn constant_offset_operator() {
+        // approx = exact + 3 on every input.
+        let s = ErrorStats::from_pairs((0u64..100).map(|x| (x, x + 3)));
+        assert_eq!(s.error_rate, 1.0);
+        assert_eq!(s.mean_error_distance, 3.0);
+        assert_eq!(s.max_error_distance, 3);
+        assert_eq!(s.mean_signed_error, 3.0);
+        assert_eq!(s.distinct_error_values.len(), 1);
+        assert!(s.distinct_error_values.contains(&3));
+    }
+
+    #[test]
+    fn underestimating_operator_has_negative_bias() {
+        let s = ErrorStats::from_pairs((10u64..20).map(|x| (x, x - 1)));
+        assert_eq!(s.mean_signed_error, -1.0);
+        assert_eq!(s.mean_error_distance, 1.0);
+    }
+
+    #[test]
+    fn relative_error_uses_exact_denominator() {
+        // exact = 4, approx = 5 → rel err 0.25.
+        let s = ErrorStats::from_pairs([(4u64, 5u64)]);
+        assert!((s.mean_relative_error - 0.25).abs() < 1e-12);
+        // exact = 0 uses denominator 1.
+        let s = ErrorStats::from_pairs([(0u64, 2u64)]);
+        assert!((s.mean_relative_error - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stream_is_rejected_by_try_from() {
+        assert!(ErrorStats::try_from_pairs(std::iter::empty()).is_err());
+        let s = ErrorStats::from_pairs(std::iter::empty());
+        assert_eq!(s.samples, 0);
+        assert!(s.is_exact());
+    }
+
+    #[test]
+    fn sampled_matches_exhaustive_for_simple_truncation() {
+        // approx drops the LSB: error rate is exactly 1/2 under uniform
+        // inputs (LSB of the sum is 1 half of the time).
+        let exact = |a: u64, b: u64| a + b;
+        let approx = |a: u64, b: u64| (a + b) & !1;
+        let ex = exhaustive_binary(6, 6, exact, approx);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+        let sm = sampled_binary(6, 6, 40_000, &mut rng, exact, approx);
+        assert!((ex.error_rate - 0.5).abs() < 1e-12);
+        assert!((sm.error_rate - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn exhaustive_unary_counts_all_inputs() {
+        let s = exhaustive_unary(8, |x| x, |x| x ^ 1);
+        assert_eq!(s.samples, 256);
+        assert_eq!(s.error_rate, 1.0);
+        assert_eq!(s.max_error_distance, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn exhaustive_binary_guards_width() {
+        let _ = exhaustive_binary(16, 16, |a, _| a, |a, _| a);
+    }
+
+    #[test]
+    fn distinct_saturation_flag() {
+        // 5000 distinct error magnitudes exceed the 4096 cap.
+        let s = ErrorStats::from_pairs((0u64..5000).map(|x| (0, x + 1)));
+        assert!(s.distinct_saturated);
+        assert_eq!(s.distinct_error_values.len(), ErrorStats::MAX_DISTINCT);
+    }
+}

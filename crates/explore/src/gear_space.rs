@@ -1,0 +1,180 @@
+//! Enumeration of the GeAr `(R, P)` configuration space (Table IV).
+//!
+//! For an `N`-bit GeAr adder, a configuration is valid when `R ≥ 1`,
+//! `P ≥ 0`, `R + P ≤ N` and `(N − R − P)` is a multiple of `R`. Each point
+//! is scored with the **analytical error model** (no simulation — the
+//! paper's selling point) and the LUT area model.
+//!
+//! # Example
+//!
+//! ```
+//! use xlac_explore::gear_space::enumerate_gear_space;
+//!
+//! # fn main() -> Result<(), xlac_core::XlacError> {
+//! let space = enumerate_gear_space(11)?;
+//! // Multi-sub-adder points only (k = 1 would be an exact adder).
+//! assert!(space.iter().all(|pt| pt.sub_adders >= 2));
+//! # Ok(())
+//! # }
+//! ```
+
+use xlac_adders::{Adder, GeArAdder, GearErrorModel};
+use xlac_core::error::Result;
+
+/// One scored GeAr configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GearDesignPoint {
+    /// Operand width.
+    pub n: usize,
+    /// Result bits per sub-adder.
+    pub r: usize,
+    /// Prediction bits per sub-adder.
+    pub p: usize,
+    /// Number of sub-adders.
+    pub sub_adders: usize,
+    /// Accuracy percentage from the exact analytical error model.
+    pub accuracy_percent: f64,
+    /// FPGA area in LUTs (the Table IV area model).
+    pub lut_area: usize,
+    /// Normalized ASIC delay (one sub-adder ripple chain).
+    pub delay: f64,
+}
+
+impl GearDesignPoint {
+    /// A short label like `"R1P9"` (the Table IV row naming).
+    #[must_use]
+    pub fn label(&self) -> String {
+        format!("R{}P{}", self.r, self.p)
+    }
+
+    /// Reconstructs the adder for this point.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for points produced by [`enumerate_gear_space`].
+    pub fn adder(&self) -> Result<GeArAdder> {
+        GeArAdder::new(self.n, self.r, self.p)
+    }
+}
+
+/// Enumerates and scores every valid multi-sub-adder `(R, P)` point for an
+/// `N`-bit GeAr adder, ordered by `(R, P)`.
+///
+/// Configurations with a single sub-adder (`L = N`) are excluded — they
+/// are exact adders, not approximate designs (the paper's Table IV also
+/// omits them).
+///
+/// # Errors
+///
+/// Propagates invalid-width errors from the adder constructor.
+pub fn enumerate_gear_space(n: usize) -> Result<Vec<GearDesignPoint>> {
+    let mut points = Vec::new();
+    for r in 1..n {
+        for p in 0..n {
+            let l = r + p;
+            if l >= n || !(n - l).is_multiple_of(r) {
+                continue;
+            }
+            let gear = GeArAdder::new(n, r, p)?;
+            let model = GearErrorModel::for_adder(&gear);
+            points.push(GearDesignPoint {
+                n,
+                r,
+                p,
+                sub_adders: gear.sub_adder_count(),
+                accuracy_percent: (1.0 - model.exact()) * 100.0,
+                lut_area: gear.lut_area(),
+                delay: gear.hw_cost().delay,
+            });
+        }
+    }
+    Ok(points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eleven_bit_space_matches_table_iv_structure() {
+        let space = enumerate_gear_space(11).unwrap();
+        // Every point validates and is unique.
+        let mut labels: Vec<String> = space.iter().map(GearDesignPoint::label).collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), space.len());
+        // The text's flagship points exist.
+        assert!(space.iter().any(|pt| pt.r == 1 && pt.p == 9));
+        assert!(space.iter().any(|pt| pt.r == 3 && pt.p == 5));
+        // R = 1 admits every P in 0..=9 (N−1−P always divisible by 1).
+        let r1_count = space.iter().filter(|pt| pt.r == 1).count();
+        assert_eq!(r1_count, 10);
+    }
+
+    #[test]
+    fn accuracy_increases_with_p_at_fixed_r() {
+        let space = enumerate_gear_space(11).unwrap();
+        for r in 1..=3usize {
+            let mut points: Vec<&GearDesignPoint> =
+                space.iter().filter(|pt| pt.r == r).collect();
+            points.sort_by_key(|pt| pt.p);
+            for pair in points.windows(2) {
+                assert!(
+                    pair[1].accuracy_percent >= pair[0].accuracy_percent - 1e-9,
+                    "R{r}: accuracy fell from P{} to P{}",
+                    pair[0].p,
+                    pair[1].p
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn accuracy_model_matches_simulation_on_a_sample() {
+        let space = enumerate_gear_space(8).unwrap();
+        for pt in &space {
+            let model = GearErrorModel::for_adder(&pt.adder().unwrap());
+            let truth = (1.0 - model.exhaustive()) * 100.0;
+            assert!(
+                (pt.accuracy_percent - truth).abs() < 1e-6,
+                "{}: {} vs {}",
+                pt.label(),
+                pt.accuracy_percent,
+                truth
+            );
+        }
+    }
+
+    #[test]
+    fn lut_area_reflects_total_sub_adder_width() {
+        // Area = k·L: overlap (P > 0) always costs more LUTs than a plain
+        // N-bit chain, and the model is internally consistent.
+        let space = enumerate_gear_space(11).unwrap();
+        for pt in &space {
+            assert_eq!(pt.lut_area, pt.sub_adders * (pt.r + pt.p));
+            if pt.p > 0 {
+                assert!(pt.lut_area > pt.n, "{}: overlap must cost extra", pt.label());
+            }
+        }
+        // Disjoint blocks (P = 0) cost exactly N LUTs.
+        for pt in space.iter().filter(|pt| pt.p == 0) {
+            assert_eq!(pt.lut_area, pt.n, "{}", pt.label());
+        }
+    }
+
+    #[test]
+    fn excludes_exact_single_sub_adder_points() {
+        for n in [8usize, 11, 16] {
+            let space = enumerate_gear_space(n).unwrap();
+            assert!(space.iter().all(|pt| pt.sub_adders >= 2), "N={n}");
+            assert!(space.iter().all(|pt| pt.accuracy_percent < 100.0), "N={n}");
+        }
+    }
+
+    #[test]
+    fn labels() {
+        let space = enumerate_gear_space(11).unwrap();
+        let pt = space.iter().find(|pt| pt.r == 3 && pt.p == 5).unwrap();
+        assert_eq!(pt.label(), "R3P5");
+    }
+}

@@ -1,0 +1,45 @@
+//! # xlac-explore — design-space exploration of approximate components
+//!
+//! Section 4.2 and Fig.4/Table IV of the paper: "different combinations of
+//! R and P for an N-bit GeAr adder result in approximate adder designs
+//! with different area/performance/accuracy tradeoff", and the error model
+//! "enables fast exploration of the design space … when working at a
+//! higher abstract layer of the system stack."
+//!
+//! * [`gear_space`] — enumerate **all** valid `(R, P)` configurations for
+//!   an operand width, scoring each with the analytical error model and
+//!   the LUT area model (the Table IV generator).
+//! * [`pareto`] — generic Pareto-frontier extraction over
+//!   (cost, quality) records.
+//! * [`selection`] — the constraint queries from the paper's text: the
+//!   maximum-accuracy configuration, and the minimum-area configuration
+//!   subject to an accuracy floor (the "R3P5 at ≥ 90 %" example).
+//!
+//! # Example
+//!
+//! ```
+//! use xlac_explore::gear_space::enumerate_gear_space;
+//! use xlac_explore::selection::{max_accuracy, min_area_with_accuracy};
+//!
+//! # fn main() -> Result<(), xlac_core::XlacError> {
+//! let space = enumerate_gear_space(11)?;
+//! let best = max_accuracy(&space)?;
+//! assert_eq!((best.r, best.p), (1, 9)); // the paper's pick
+//! let frugal = min_area_with_accuracy(&space, 90.0)?;
+//! assert!(frugal.accuracy_percent >= 90.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gear_space;
+pub mod mul_space;
+pub mod pareto;
+pub mod selection;
+
+pub use gear_space::{enumerate_gear_space, GearDesignPoint};
+pub use mul_space::enumerate_multiplier_space;
+pub use pareto::pareto_frontier;
+pub use selection::{max_accuracy, min_area_with_accuracy};

@@ -1,0 +1,159 @@
+//! Enumeration of the approximate-multiplier design space (the Fig.6
+//! axes as a searchable space).
+//!
+//! Section 5 builds multipliers along three independent axes: the
+//! elementary 2×2 block, the partial-product summation mode, and (from
+//! the truncation family) the number of eliminated low columns. This
+//! module enumerates configurations across all three, characterizes each
+//! ([`xlac_core::ComponentProfile`]) and hands them to the generic Pareto
+//! machinery — the multiplier counterpart of [`crate::gear_space`].
+//!
+//! # Example
+//!
+//! ```
+//! use xlac_explore::mul_space::enumerate_multiplier_space;
+//!
+//! # fn main() -> Result<(), xlac_core::XlacError> {
+//! let space = enumerate_multiplier_space(8, 20_000)?;
+//! assert!(space.len() > 10);
+//! // Every profile carries a cost and quality record.
+//! assert!(space.iter().all(|p| p.cost.area_ge > 0.0));
+//! # Ok(())
+//! # }
+//! ```
+
+use xlac_adders::FullAdderKind;
+use xlac_core::error::Result;
+use xlac_core::metrics::{exhaustive_binary, sampled_binary, ErrorStats};
+use xlac_core::ComponentProfile;
+use xlac_multipliers::{
+    Mul2x2Kind, Multiplier, RecursiveMultiplier, SumMode, TruncatedMultiplier, WallaceMultiplier,
+};
+use rand::SeedableRng;
+
+fn quality<M: Multiplier>(m: &M, samples: u64) -> ErrorStats {
+    let w = m.width();
+    if 2 * w <= 16 {
+        exhaustive_binary(w, w, |a, b| a * b, |a, b| m.mul(a, b))
+    } else {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0x3113);
+        sampled_binary(w, w, samples, &mut rng, |a, b| a * b, |a, b| m.mul(a, b))
+    }
+}
+
+/// Enumerates and characterizes multiplier configurations at the given
+/// operand width (power of two in `4..=16`):
+///
+/// * recursive multipliers: {accurate, SoA, ours} blocks ×
+///   {accurate, ApxFA1/3/5 on 2 or 4 LSBs} summation,
+/// * Wallace trees with 0/4/8 approximate columns per approximate cell,
+/// * truncated multipliers dropping 0/2/4/6 columns, compensated or not.
+///
+/// `samples` bounds the Monte-Carlo effort for widths beyond exhaustive
+/// reach.
+///
+/// # Errors
+///
+/// Propagates construction errors (invalid width).
+pub fn enumerate_multiplier_space(width: usize, samples: u64) -> Result<Vec<ComponentProfile>> {
+    let mut profiles = Vec::new();
+
+    // Recursive family.
+    let sum_modes = [
+        SumMode::Accurate,
+        SumMode::ApproxLsbs { kind: FullAdderKind::Apx1, lsbs: 2 },
+        SumMode::ApproxLsbs { kind: FullAdderKind::Apx3, lsbs: 4 },
+        SumMode::ApproxLsbs { kind: FullAdderKind::Apx5, lsbs: 4 },
+    ];
+    for block in Mul2x2Kind::ALL {
+        for sum in sum_modes {
+            let m = RecursiveMultiplier::new(width, block, sum)?;
+            profiles.push(ComponentProfile::new(m.name(), m.hw_cost(), quality(&m, samples)));
+        }
+    }
+
+    // Wallace family (one exact baseline, then the approximate columns —
+    // cols = 0 collapses to the same design for every cell kind).
+    let exact_wallace = WallaceMultiplier::new(width, FullAdderKind::Accurate, 0)?;
+    profiles.push(ComponentProfile::new(
+        exact_wallace.name(),
+        exact_wallace.hw_cost(),
+        quality(&exact_wallace, samples),
+    ));
+    for kind in [FullAdderKind::Apx2, FullAdderKind::Apx4, FullAdderKind::Apx5] {
+        for cols in [4usize, 8] {
+            let m = WallaceMultiplier::new(width, kind, cols)?;
+            profiles.push(ComponentProfile::new(m.name(), m.hw_cost(), quality(&m, samples)));
+        }
+    }
+
+    // Truncation family.
+    for dropped in [0usize, 2, 4, 6] {
+        for compensated in [false, true] {
+            if dropped == 0 && compensated {
+                continue;
+            }
+            let m = TruncatedMultiplier::new(width, dropped, compensated)?;
+            profiles.push(ComponentProfile::new(m.name(), m.hw_cost(), quality(&m, samples)));
+        }
+    }
+
+    Ok(profiles)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pareto_frontier;
+
+    #[test]
+    fn space_has_the_three_families() {
+        let space = enumerate_multiplier_space(8, 10_000).unwrap();
+        assert!(space.iter().any(|p| p.name.starts_with("RecMul")));
+        assert!(space.iter().any(|p| p.name.starts_with("Wallace")));
+        assert!(space.iter().any(|p| p.name.starts_with("TruncMul")));
+        // Names are unique.
+        let mut names: Vec<&str> = space.iter().map(|p| p.name.as_str()).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before);
+    }
+
+    #[test]
+    fn exact_configurations_have_zero_error() {
+        let space = enumerate_multiplier_space(8, 10_000).unwrap();
+        for p in &space {
+            let exactish = (p.name.contains("AccMul") && !p.name.contains("xApxFA"))
+                || p.name == "Wallace(N=8)"
+                || p.name == "TruncMul(N=8,D=0)";
+            if exactish {
+                assert!(p.quality.is_exact(), "{} should be exact", p.name);
+            }
+        }
+    }
+
+    #[test]
+    fn pareto_frontier_spans_the_families() {
+        let space = enumerate_multiplier_space(8, 10_000).unwrap();
+        let frontier = pareto_frontier(
+            &space,
+            &[
+                &|p: &ComponentProfile| p.cost.area_ge,
+                &|p| p.quality.mean_relative_error,
+            ],
+        );
+        assert!(frontier.len() >= 3, "a real trade-off curve");
+        assert!(frontier.len() < space.len(), "something must be dominated");
+        // An exact design anchors the quality end of the frontier.
+        assert!(frontier.iter().any(|p| p.quality.is_exact()));
+    }
+
+    #[test]
+    fn sixteen_bit_space_uses_sampling() {
+        let space = enumerate_multiplier_space(16, 5_000).unwrap();
+        // All sampled profiles saw the configured number of samples.
+        let sampled = space.iter().find(|p| !p.quality.is_exact()).expect("approx exists");
+        assert_eq!(sampled.quality.samples, 5_000);
+    }
+}

@@ -1,0 +1,63 @@
+//! # xlac-imaging — synthetic test images and data-dependent resilience
+//!
+//! Fig.10 of the paper filters a set of images on approximate hardware and
+//! shows that "for the same adder and kernel, the achieved accuracy varied
+//! across the images" — output quality is *data-dependent*. The paper's
+//! seven natural images are not distributable, so this crate supplies
+//! seven deterministic synthetic images spanning the same content axis
+//! (see `DESIGN.md` for the substitution rationale): from smooth gradients
+//! (high resilience to LSB noise) to dense texture (low resilience).
+//!
+//! * [`images`] — the seven generators ([`images::TestImage`]).
+//! * [`resilience`] — the Fig.10 experiment: SSIM between accurate-filtered
+//!   and approximately-filtered versions of each image.
+//!
+//! # Example
+//!
+//! ```
+//! use xlac_imaging::images::TestImage;
+//! use xlac_imaging::resilience::{resilience_study, StudyConfig};
+//! use xlac_adders::FullAdderKind;
+//!
+//! # fn main() -> Result<(), xlac_core::XlacError> {
+//! let cfg = StudyConfig { size: 32, kind: FullAdderKind::Apx3, approx_lsbs: 4 };
+//! let rows = resilience_study(&TestImage::ALL, cfg)?;
+//! assert_eq!(rows.len(), 7);
+//! // Every SSIM is a valid similarity score.
+//! assert!(rows.iter().all(|r| r.ssim <= 1.0 + 1e-12));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod images;
+pub mod resilience;
+pub mod sobel;
+
+pub use images::TestImage;
+pub use resilience::{resilience_study, ResilienceRow, StudyConfig};
+pub use sobel::SobelAccelerator;
+
+use xlac_core::Grid;
+
+/// Converts an 8-bit integer image into the `f64` form the quality
+/// metrics consume.
+#[must_use]
+pub fn to_f64(image: &Grid<u64>) -> Grid<f64> {
+    image.map(|&v| v as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversion_preserves_values() {
+        let img = Grid::from_fn(4, 4, |r, c| (r * 4 + c) as u64);
+        let f = to_f64(&img);
+        assert_eq!(f[(2, 3)], 11.0);
+        assert_eq!(f.shape(), (4, 4));
+    }
+}

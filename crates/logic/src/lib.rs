@@ -1,0 +1,60 @@
+//! # xlac-logic — gate-level substrate for approximate-component design
+//!
+//! The paper's experimental flow (Section 3) runs RTL through Synopsys
+//! Design Compiler for area, ModelSim for switching activity (VCD/SAIF) and
+//! PrimeTime for power. None of those tools exist here, so this crate is the
+//! substitute: a small but complete gate-level flow —
+//!
+//! * [`gate`] — the cell library: gate kinds with per-cell **area**
+//!   (gate equivalents), **switching energy** and **delay**.
+//! * [`netlist`] — a combinational netlist IR with structural validation and
+//!   64-way bit-parallel pattern simulation.
+//! * [`truth_table`] — multi-output truth tables (the specification format
+//!   of Table III and Fig.5 of the paper).
+//! * [`qm`] — exact two-level minimization (Quine–McCluskey prime-implicant
+//!   generation + Petrick cover) for functions of up to 16 inputs.
+//! * [`synth`] — truth table → minimized sum-of-products → gate netlist,
+//!   plus full [`synth::characterize`] producing an
+//!   [`xlac_core::HwCost`] from structural area, critical-path delay and
+//!   toggle-counted dynamic power (the VCD/SAIF methodology).
+//!
+//! The absolute GE/nW numbers come from a normalized cost table, not a
+//! foundry library; what the flow preserves — and what the paper's tables
+//! communicate — is the *relative ordering* between accurate and
+//! approximate designs.
+//!
+//! # Example: synthesize a majority gate and characterize it
+//!
+//! ```
+//! use xlac_logic::truth_table::TruthTable;
+//! use xlac_logic::synth::{synthesize, characterize};
+//!
+//! # fn main() -> Result<(), xlac_core::XlacError> {
+//! // maj(a,b,c): 1 when at least two inputs are 1.
+//! let tt = TruthTable::from_fn(3, 1, |x| {
+//!     let ones = (x & 1) + ((x >> 1) & 1) + ((x >> 2) & 1);
+//!     u64::from(ones >= 2)
+//! });
+//! let netlist = synthesize("maj3", &tt)?;
+//! let cost = characterize(&netlist, 2048, 7);
+//! assert!(cost.area_ge > 0.0 && cost.power_nw > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod equiv;
+pub mod gate;
+pub mod netlist;
+pub mod opt;
+pub mod qm;
+pub mod stats;
+pub mod synth;
+pub mod truth_table;
+pub mod verilog;
+
+pub use gate::GateKind;
+pub use netlist::{Netlist, NetlistBuilder, Signal};
+pub use truth_table::TruthTable;

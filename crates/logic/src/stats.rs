@@ -1,0 +1,218 @@
+//! Netlist statistics and reporting.
+//!
+//! The synthesis-flow counterpart of a DC `report_qor`: per-kind gate
+//! histograms, logic-depth distribution and fanout analysis, for
+//! inspecting what the synthesizer/optimizer actually built and for
+//! driving area/congestion heuristics in exploration.
+//!
+//! # Example
+//!
+//! ```
+//! use xlac_logic::{GateKind, NetlistBuilder};
+//! use xlac_logic::stats::NetlistStats;
+//!
+//! # fn main() -> Result<(), xlac_core::XlacError> {
+//! let mut b = NetlistBuilder::new("ha", 2);
+//! let (x, y) = (b.input(0), b.input(1));
+//! let s = b.gate(GateKind::Xor2, &[x, y]);
+//! let c = b.gate(GateKind::And2, &[x, y]);
+//! b.output(s);
+//! b.output(c);
+//! let stats = NetlistStats::of(&b.finish()?);
+//! assert_eq!(stats.gate_count, 2);
+//! assert_eq!(stats.max_logic_depth, 1);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::gate::GateKind;
+use crate::netlist::{Netlist, Signal};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Aggregate statistics of a netlist.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetlistStats {
+    /// Total gate instances.
+    pub gate_count: usize,
+    /// Instances per cell kind.
+    pub kind_histogram: BTreeMap<GateKind, usize>,
+    /// Maximum logic depth in gate levels (inputs are level 0).
+    pub max_logic_depth: usize,
+    /// Mean logic depth over the primary outputs.
+    pub mean_output_depth: f64,
+    /// Maximum fanout of any input or gate output.
+    pub max_fanout: usize,
+    /// Mean fanout over driven signals (gates with at least one reader).
+    pub mean_fanout: f64,
+    /// Structural area in gate equivalents.
+    pub area_ge: f64,
+}
+
+impl NetlistStats {
+    /// Computes the statistics of a netlist.
+    #[must_use]
+    pub fn of(netlist: &Netlist) -> Self {
+        let mut kind_histogram: BTreeMap<GateKind, usize> = BTreeMap::new();
+        let mut depth = vec![0usize; netlist.gate_count()];
+        // Fanout counters: inputs first, then gates.
+        let mut fanout = vec![0usize; netlist.n_inputs() + netlist.gate_count()];
+        let signal_slot = |s: Signal, n_inputs: usize| -> Option<usize> {
+            match s {
+                Signal::Input(i) => Some(i),
+                Signal::Gate(g) => Some(n_inputs + g),
+                Signal::Const(_) => None,
+            }
+        };
+
+        for (idx, (kind, fanin)) in netlist.gates().enumerate() {
+            *kind_histogram.entry(kind).or_insert(0) += 1;
+            let mut level = 0usize;
+            for s in fanin {
+                if let Some(slot) = signal_slot(*s, netlist.n_inputs()) {
+                    fanout[slot] += 1;
+                }
+                if let Signal::Gate(g) = s {
+                    level = level.max(depth[*g] + 1);
+                } else {
+                    level = level.max(1);
+                }
+            }
+            depth[idx] = level;
+        }
+        let mut output_depths = Vec::with_capacity(netlist.n_outputs());
+        for out in netlist.outputs() {
+            if let Some(slot) = signal_slot(out, netlist.n_inputs()) {
+                fanout[slot] += 1;
+            }
+            output_depths.push(match out {
+                Signal::Gate(g) => depth[g],
+                _ => 0,
+            });
+        }
+
+        let driven: Vec<usize> = fanout.iter().copied().filter(|&f| f > 0).collect();
+        NetlistStats {
+            gate_count: netlist.gate_count(),
+            kind_histogram,
+            max_logic_depth: depth.iter().copied().max().unwrap_or(0),
+            mean_output_depth: if output_depths.is_empty() {
+                0.0
+            } else {
+                output_depths.iter().sum::<usize>() as f64 / output_depths.len() as f64
+            },
+            max_fanout: driven.iter().copied().max().unwrap_or(0),
+            mean_fanout: if driven.is_empty() {
+                0.0
+            } else {
+                driven.iter().sum::<usize>() as f64 / driven.len() as f64
+            },
+            area_ge: netlist.area_ge(),
+        }
+    }
+}
+
+impl fmt::Display for NetlistStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "gates: {} ({:.2} GE)", self.gate_count, self.area_ge)?;
+        for (kind, count) in &self.kind_histogram {
+            writeln!(f, "  {kind}: {count}")?;
+        }
+        writeln!(
+            f,
+            "depth: max {}, mean-at-outputs {:.2}",
+            self.max_logic_depth, self.mean_output_depth
+        )?;
+        write!(f, "fanout: max {}, mean {:.2}", self.max_fanout, self.mean_fanout)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::NetlistBuilder;
+
+    fn full_adder() -> Netlist {
+        let mut b = NetlistBuilder::new("fa", 3);
+        let (x, y, cin) = (b.input(0), b.input(1), b.input(2));
+        let axb = b.gate(GateKind::Xor2, &[x, y]);
+        let sum = b.gate(GateKind::Xor2, &[axb, cin]);
+        let ab = b.gate(GateKind::And2, &[x, y]);
+        let pc = b.gate(GateKind::And2, &[axb, cin]);
+        let cout = b.gate(GateKind::Or2, &[ab, pc]);
+        b.output(sum);
+        b.output(cout);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn full_adder_statistics() {
+        let stats = NetlistStats::of(&full_adder());
+        assert_eq!(stats.gate_count, 5);
+        assert_eq!(stats.kind_histogram[&GateKind::Xor2], 2);
+        assert_eq!(stats.kind_histogram[&GateKind::And2], 2);
+        assert_eq!(stats.kind_histogram[&GateKind::Or2], 1);
+        // sum path: xor → xor = depth 2; cout path: xor → and → or = 3.
+        assert_eq!(stats.max_logic_depth, 3);
+        assert!((stats.mean_output_depth - 2.5).abs() < 1e-12);
+        // axb feeds sum and pc; x feeds axb and ab.
+        assert_eq!(stats.max_fanout, 2);
+        assert!(stats.area_ge > 0.0);
+    }
+
+    #[test]
+    fn wire_only_netlist() {
+        let mut b = NetlistBuilder::new("wire", 1);
+        let i = b.input(0);
+        b.output(i);
+        let stats = NetlistStats::of(&b.finish().unwrap());
+        assert_eq!(stats.gate_count, 0);
+        assert_eq!(stats.max_logic_depth, 0);
+        assert_eq!(stats.mean_output_depth, 0.0);
+        assert_eq!(stats.max_fanout, 1); // the input drives the output
+    }
+
+    #[test]
+    fn ripple_chain_depth_grows_linearly() {
+        use xlac_core::error::Result;
+        let chain = |n: usize| -> Result<Netlist> {
+            let mut b = NetlistBuilder::new("chain", 1);
+            let mut s = b.input(0);
+            for _ in 0..n {
+                s = b.gate(GateKind::Not, &[s]);
+            }
+            b.output(s);
+            b.finish()
+        };
+        let s4 = NetlistStats::of(&chain(4).unwrap());
+        let s9 = NetlistStats::of(&chain(9).unwrap());
+        assert_eq!(s4.max_logic_depth, 4);
+        assert_eq!(s9.max_logic_depth, 9);
+    }
+
+    #[test]
+    fn display_renders_all_sections() {
+        let text = NetlistStats::of(&full_adder()).to_string();
+        assert!(text.contains("gates: 5"));
+        assert!(text.contains("XOR2: 2"));
+        assert!(text.contains("depth: max 3"));
+        assert!(text.contains("fanout: max 2"));
+    }
+
+    #[test]
+    fn optimizer_reduces_reported_depth_of_padded_logic() {
+        use crate::opt::optimize;
+        let mut b = NetlistBuilder::new("padded", 2);
+        let (x, y) = (b.input(0), b.input(1));
+        let zero = b.constant(false);
+        let g1 = b.gate(GateKind::Or2, &[x, zero]); // wire in disguise
+        let g2 = b.gate(GateKind::Or2, &[g1, zero]); // another
+        let g3 = b.gate(GateKind::And2, &[g2, y]);
+        b.output(g3);
+        let nl = b.finish().unwrap();
+        let before = NetlistStats::of(&nl);
+        let after = NetlistStats::of(&optimize(&nl));
+        assert!(after.max_logic_depth < before.max_logic_depth);
+        assert!(after.gate_count < before.gate_count);
+    }
+}

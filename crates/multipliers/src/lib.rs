@@ -1,0 +1,127 @@
+//! # xlac-multipliers — approximate multipliers (Section 5 of the paper)
+//!
+//! Efficient multiplier designs compose small multipliers with an adder
+//! tree for partial-product summation; approximating either ingredient
+//! yields an approximate multiplier. This crate implements both axes:
+//!
+//! * [`mul2x2`] — the elementary 2×2 blocks of **Fig.5**: the accurate
+//!   multiplier, the state-of-the-art Kulkarni design (`ApxMulSoA`, drops
+//!   the 4th product bit so 3×3 = 7, max error 2) and the paper's own
+//!   design (`ApxMulOur`, routes the MSB product to the LSB, max error 1 in
+//!   three cases), plus the accuracy-*configurable* variants with their
+//!   correction stages.
+//! * [`multi_bit`] — recursive composition: an `N×N` multiplier from four
+//!   `N/2 × N/2` sub-multipliers and approximate adders for the three
+//!   partial-product additions (the construction behind **Fig.6**).
+//! * [`wallace`] — a Wallace-tree multiplier whose low-order reduction
+//!   columns can use approximate full-adder cells (the Bhardwaj ISQED'14
+//!   style referenced by the paper).
+//!
+//! # Example
+//!
+//! ```
+//! use xlac_multipliers::{Mul2x2Kind, Multiplier, RecursiveMultiplier, SumMode};
+//!
+//! # fn main() -> Result<(), xlac_core::XlacError> {
+//! // The paper's 2x2 designs.
+//! assert_eq!(Mul2x2Kind::Accurate.mul(3, 3), 9);
+//! assert_eq!(Mul2x2Kind::ApxSoA.mul(3, 3), 7);     // drops the 4th bit
+//! assert_eq!(Mul2x2Kind::ApxOur.mul(3, 3), 9);     // 3x3 stays exact…
+//! assert_eq!(Mul2x2Kind::ApxOur.mul(1, 1), 0);     // …but 1x1 loses its LSB
+//!
+//! // An 8x8 multiplier from ApxOur blocks with accurate summation.
+//! // ApxOur only ever drops product mass, so it underestimates; each
+//! // erring 2x2 block contributes 1 scaled by its digit-position weight.
+//! let m = RecursiveMultiplier::new(8, Mul2x2Kind::ApxOur, SumMode::Accurate)?;
+//! let p = m.mul(200, 100);
+//! assert!(p <= 20_000 && p > 15_000);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod mul2x2;
+pub mod multi_bit;
+pub mod signed;
+pub mod truncated;
+pub mod wallace;
+
+pub use mul2x2::{ConfigurableMul2x2, Mul2x2Kind};
+pub use multi_bit::{RecursiveMultiplier, SumMode};
+pub use signed::SignedMultiplier;
+pub use truncated::TruncatedMultiplier;
+pub use wallace::WallaceMultiplier;
+
+use xlac_core::characterization::HwCost;
+
+/// A combinational two-operand multiplier of fixed operand width.
+///
+/// Implementations return the full `2 × width`-bit product. Object-safe so
+/// accelerator datapaths can swap multiplier architectures at runtime.
+pub trait Multiplier {
+    /// Operand width in bits.
+    fn width(&self) -> usize;
+
+    /// Multiplies two `width`-bit operands (operands are truncated to
+    /// `width` bits first).
+    fn mul(&self, a: u64, b: u64) -> u64;
+
+    /// Human-readable instance name.
+    fn name(&self) -> String;
+
+    /// Hardware cost under the workspace cost model.
+    fn hw_cost(&self) -> HwCost;
+
+    /// The exact reference product.
+    fn exact(&self, a: u64, b: u64) -> u64 {
+        let w = self.width();
+        xlac_core::bits::truncate(a, w) * xlac_core::bits::truncate(b, w)
+    }
+}
+
+impl<T: Multiplier + ?Sized> Multiplier for &T {
+    fn width(&self) -> usize {
+        (**self).width()
+    }
+    fn mul(&self, a: u64, b: u64) -> u64 {
+        (**self).mul(a, b)
+    }
+    fn name(&self) -> String {
+        (**self).name()
+    }
+    fn hw_cost(&self) -> HwCost {
+        (**self).hw_cost()
+    }
+}
+
+impl<T: Multiplier + ?Sized> Multiplier for Box<T> {
+    fn width(&self) -> usize {
+        (**self).width()
+    }
+    fn mul(&self, a: u64, b: u64) -> u64 {
+        (**self).mul(a, b)
+    }
+    fn name(&self) -> String {
+        (**self).name()
+    }
+    fn hw_cost(&self) -> HwCost {
+        (**self).hw_cost()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trait_is_object_safe() {
+        let m: Box<dyn Multiplier> =
+            Box::new(RecursiveMultiplier::new(4, Mul2x2Kind::Accurate, SumMode::Accurate).unwrap());
+        assert_eq!(m.mul(15, 15), 225);
+        assert_eq!(m.exact(15, 15), 225);
+        let by_ref: &dyn Multiplier = &*m;
+        assert_eq!(by_ref.mul(3, 5), 15);
+    }
+}

@@ -1,0 +1,186 @@
+//! Signed multiplication on top of any unsigned (approximate) core.
+//!
+//! DSP kernels — the motion-compensation residuals and filter taps of the
+//! paper's case studies — are signed. [`SignedMultiplier`] wraps any
+//! [`Multiplier`] core in the sign-magnitude scheme hardware uses when the
+//! core is an unsigned array: negate-to-magnitude stages on the inputs,
+//! an XOR of the sign bits, and a conditional negation of the product.
+//! The approximation characteristics of the core carry over symmetrically
+//! to both sign quadrants.
+//!
+//! # Example
+//!
+//! ```
+//! use xlac_multipliers::{Mul2x2Kind, Multiplier, RecursiveMultiplier, SignedMultiplier, SumMode};
+//!
+//! # fn main() -> Result<(), xlac_core::XlacError> {
+//! let core = RecursiveMultiplier::new(8, Mul2x2Kind::Accurate, SumMode::Accurate)?;
+//! let signed = SignedMultiplier::new(core);
+//! assert_eq!(signed.mul_signed(-5, 7), -35);
+//! assert_eq!(signed.mul_signed(-5, -7), 35);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::Multiplier;
+use xlac_core::characterization::HwCost;
+
+/// A sign-magnitude wrapper turning an unsigned core into a signed
+/// multiplier for `width`-bit two's-complement operands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SignedMultiplier<M> {
+    core: M,
+}
+
+impl<M: Multiplier> SignedMultiplier<M> {
+    /// Wraps an unsigned multiplier core.
+    #[must_use]
+    pub fn new(core: M) -> Self {
+        SignedMultiplier { core }
+    }
+
+    /// The wrapped core.
+    #[must_use]
+    pub fn core(&self) -> &M {
+        &self.core
+    }
+
+    /// Consumes the wrapper, returning the core.
+    #[must_use]
+    pub fn into_inner(self) -> M {
+        self.core
+    }
+
+    /// Operand width of the signed inputs (same as the core's).
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.core.width()
+    }
+
+    /// Multiplies two signed operands. Operands must fit the core width
+    /// as two's-complement values (i.e. in `-2^(w-1) .. 2^(w-1)`); out-of-
+    /// range magnitudes wrap like hardware registers.
+    ///
+    /// The magnitude product runs through the (possibly approximate) core;
+    /// sign handling is exact, as in real sign-magnitude datapaths.
+    #[must_use]
+    pub fn mul_signed(&self, a: i64, b: i64) -> i64 {
+        let w = self.core.width();
+        let mag = |v: i64| -> u64 { xlac_core::bits::truncate(v.unsigned_abs(), w) };
+        let product = self.core.mul(mag(a), mag(b)) as i64;
+        if (a < 0) ^ (b < 0) {
+            -product
+        } else {
+            product
+        }
+    }
+
+    /// The exact signed reference product (magnitudes truncated to the
+    /// core width, matching [`SignedMultiplier::mul_signed`]'s register
+    /// semantics).
+    #[must_use]
+    pub fn exact_signed(&self, a: i64, b: i64) -> i64 {
+        let w = self.core.width();
+        let mag = |v: i64| -> i64 { xlac_core::bits::truncate(v.unsigned_abs(), w) as i64 };
+        let product = mag(a) * mag(b);
+        if (a < 0) ^ (b < 0) {
+            -product
+        } else {
+            product
+        }
+    }
+
+    /// Hardware cost: the core plus two input conditional-negate stages
+    /// and one output conditional-negate stage (an XOR row + increment
+    /// each), scaled by the respective widths.
+    #[must_use]
+    pub fn hw_cost(&self) -> HwCost {
+        let w = self.core.width() as f64;
+        let negate_per_bit = HwCost { area_ge: 2.9, power_nw: 120.0, delay: 0.3 };
+        self.core.hw_cost() + negate_per_bit * (2.0 * w + 2.0 * w)
+    }
+
+    /// Instance name, e.g. `"Signed(RecMul(N=8,AccMul))"`.
+    #[must_use]
+    pub fn name(&self) -> String {
+        format!("Signed({})", self.core.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Mul2x2Kind, RecursiveMultiplier, SumMode, TruncatedMultiplier};
+
+    fn exact8() -> SignedMultiplier<RecursiveMultiplier> {
+        SignedMultiplier::new(
+            RecursiveMultiplier::new(8, Mul2x2Kind::Accurate, SumMode::Accurate).unwrap(),
+        )
+    }
+
+    #[test]
+    fn all_four_sign_quadrants() {
+        let m = exact8();
+        for (a, b) in [(5i64, 7i64), (-5, 7), (5, -7), (-5, -7), (0, -9), (-127, 127)] {
+            assert_eq!(m.mul_signed(a, b), a * b, "{a} * {b}");
+        }
+    }
+
+    #[test]
+    fn exhaustive_signed_range() {
+        let m = SignedMultiplier::new(
+            RecursiveMultiplier::new(4, Mul2x2Kind::Accurate, SumMode::Accurate).unwrap(),
+        );
+        for a in -8i64..8 {
+            for b in -8i64..8 {
+                assert_eq!(m.mul_signed(a, b), a * b, "{a} * {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn approximate_core_errors_are_sign_symmetric() {
+        let m = SignedMultiplier::new(
+            RecursiveMultiplier::new(8, Mul2x2Kind::ApxOur, SumMode::Accurate).unwrap(),
+        );
+        for a in (1i64..128).step_by(13) {
+            for b in (1i64..128).step_by(17) {
+                let pp = m.mul_signed(a, b);
+                let nn = m.mul_signed(-a, -b);
+                let pn = m.mul_signed(a, -b);
+                assert_eq!(pp, nn, "({a},{b})");
+                assert_eq!(pp, -pn, "({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn approximate_error_magnitude_carries_over() {
+        let core = TruncatedMultiplier::new(8, 5, false).unwrap();
+        let m = SignedMultiplier::new(core);
+        let mut worst = 0i64;
+        for a in (-127i64..=127).step_by(11) {
+            for b in (-127i64..=127).step_by(7) {
+                worst = worst.max((m.mul_signed(a, b) - m.exact_signed(a, b)).abs());
+            }
+        }
+        assert!(worst > 0, "truncated core must err");
+        assert!(worst < 1 << 8, "error bounded by the dropped columns");
+    }
+
+    #[test]
+    fn cost_exceeds_core() {
+        let core = RecursiveMultiplier::new(8, Mul2x2Kind::Accurate, SumMode::Accurate).unwrap();
+        let core_cost = core.hw_cost();
+        let m = SignedMultiplier::new(core);
+        assert!(m.hw_cost().area_ge > core_cost.area_ge);
+    }
+
+    #[test]
+    fn name_and_accessors() {
+        let m = exact8();
+        assert!(m.name().starts_with("Signed(RecMul"));
+        assert_eq!(m.width(), 8);
+        assert_eq!(m.core().width(), 8);
+    }
+}

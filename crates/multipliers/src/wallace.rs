@@ -1,0 +1,295 @@
+//! Wallace-tree multipliers with approximate reduction columns.
+//!
+//! The classic fast multiplier: generate all `N²` partial-product bits,
+//! reduce each bit column with carry-save full/half adders until at most
+//! two rows remain, then run one carry-propagate addition. Following the
+//! approximate Wallace-tree literature the paper cites (Bhardwaj et al.,
+//! ISQED'14), the reduction cells of the **low-order columns** can be
+//! swapped for an approximate full-adder kind — errors stay confined to
+//! the least-significant product bits while every swapped cell saves area
+//! and power.
+//!
+//! # Example
+//!
+//! ```
+//! use xlac_multipliers::{Multiplier, WallaceMultiplier};
+//! use xlac_adders::FullAdderKind;
+//!
+//! # fn main() -> Result<(), xlac_core::XlacError> {
+//! let exact = WallaceMultiplier::new(8, FullAdderKind::Accurate, 0)?;
+//! assert_eq!(exact.mul(250, 99), 250 * 99);
+//!
+//! let approx = WallaceMultiplier::new(8, FullAdderKind::Apx4, 4)?;
+//! assert!(approx.hw_cost().area_ge < exact.hw_cost().area_ge);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::Multiplier;
+use xlac_adders::FullAdderKind;
+use xlac_core::bits;
+use xlac_core::characterization::HwCost;
+use xlac_core::error::{Result, XlacError};
+
+/// A Wallace-tree multiplier whose `approx_cols` low columns reduce with
+/// an approximate full-adder kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WallaceMultiplier {
+    width: usize,
+    kind: FullAdderKind,
+    approx_cols: usize,
+}
+
+impl WallaceMultiplier {
+    /// Creates an `width × width` Wallace multiplier. Columns
+    /// `0 .. approx_cols` of the reduction tree use `kind`; the remaining
+    /// columns and the final carry-propagate adder stay accurate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XlacError::InvalidWidth`] when `width` is outside `2..=16`
+    /// or [`XlacError::InvalidConfiguration`] when `approx_cols` exceeds
+    /// the `2·width` product columns.
+    pub fn new(width: usize, kind: FullAdderKind, approx_cols: usize) -> Result<Self> {
+        if !(2..=16).contains(&width) {
+            return Err(XlacError::InvalidWidth { width, max: 16 });
+        }
+        if approx_cols > 2 * width {
+            return Err(XlacError::InvalidConfiguration(format!(
+                "{approx_cols} approximate columns exceed the {} product columns",
+                2 * width
+            )));
+        }
+        Ok(WallaceMultiplier { width, kind, approx_cols })
+    }
+
+    /// The reduction-cell kind for the approximate columns.
+    #[must_use]
+    pub fn cell_kind(&self) -> FullAdderKind {
+        self.kind
+    }
+
+    /// Number of approximate low columns.
+    #[must_use]
+    pub fn approx_columns(&self) -> usize {
+        self.approx_cols
+    }
+
+    fn cell_for(&self, column: usize) -> FullAdderKind {
+        if column < self.approx_cols {
+            self.kind
+        } else {
+            FullAdderKind::Accurate
+        }
+    }
+
+    /// Runs the reduction, either on live bits (`Some(a, b)`) or purely
+    /// structurally to count cells (`None`). Returns
+    /// `(product, fa_count, ha_count)` where the counts are per-column
+    /// totals split into (approximate, accurate) pairs.
+    fn reduce(&self, operands: Option<(u64, u64)>) -> (u64, [usize; 2], [usize; 2]) {
+        let w = self.width;
+        let cols = 2 * w;
+        // columns[c] holds the live bits (or placeholder 0s in structural
+        // mode) awaiting reduction in column c.
+        let mut columns: Vec<Vec<u64>> = vec![Vec::new(); cols + 1];
+        for i in 0..w {
+            for j in 0..w {
+                let bit = match operands {
+                    Some((a, b)) => bits::bit(a, i) & bits::bit(b, j),
+                    None => 0,
+                };
+                columns[i + j].push(bit);
+            }
+        }
+
+        let mut fa = [0usize; 2]; // [approximate, accurate]
+        let mut ha = [0usize; 2];
+        // Carry-save reduction until every column has at most 2 bits.
+        loop {
+            let mut reduced = false;
+            for c in 0..cols {
+                while columns[c].len() > 2 {
+                    reduced = true;
+                    let kind = self.cell_for(c);
+                    let slot = usize::from(kind.is_accurate());
+                    if columns[c].len() >= 3 {
+                        let x = columns[c].pop().expect("len >= 3");
+                        let y = columns[c].pop().expect("len >= 2");
+                        let z = columns[c].pop().expect("len >= 1");
+                        let (s, carry) = kind.eval(x, y, z);
+                        columns[c].push(s);
+                        columns[c + 1].push(carry);
+                        fa[slot] += 1;
+                    }
+                }
+                // Pair off exactly-3→handled above; a half adder fires when
+                // a column of exactly 2 would otherwise stall a longer
+                // column's carry — classic Wallace uses HAs sparsely; we
+                // reduce any 2-bit column whose neighbour still overflows.
+                if columns[c].len() == 2 && columns[c + 1].len() > 2 {
+                    reduced = true;
+                    let kind = self.cell_for(c);
+                    let slot = usize::from(kind.is_accurate());
+                    let x = columns[c].pop().expect("len 2");
+                    let y = columns[c].pop().expect("len 1");
+                    let (s, carry) = kind.eval(x, y, 0);
+                    columns[c].push(s);
+                    columns[c + 1].push(carry);
+                    ha[slot] += 1;
+                }
+            }
+            if !reduced {
+                break;
+            }
+        }
+
+        // Final carry-propagate addition of the two remaining rows.
+        let mut row0 = 0u64;
+        let mut row1 = 0u64;
+        for (c, col) in columns.iter().enumerate().take(cols) {
+            if let Some(&b0) = col.first() {
+                row0 |= b0 << c;
+            }
+            if let Some(&b1) = col.get(1) {
+                row1 |= b1 << c;
+            }
+        }
+        let product = bits::truncate(row0 + row1, cols);
+        (product, fa, ha)
+    }
+}
+
+impl Multiplier for WallaceMultiplier {
+    fn width(&self) -> usize {
+        self.width
+    }
+
+    fn mul(&self, a: u64, b: u64) -> u64 {
+        let a = bits::truncate(a, self.width);
+        let b = bits::truncate(b, self.width);
+        self.reduce(Some((a, b))).0
+    }
+
+    fn name(&self) -> String {
+        if self.approx_cols == 0 {
+            format!("Wallace(N={})", self.width)
+        } else {
+            format!("Wallace(N={},{}cols {})", self.width, self.approx_cols, self.kind)
+        }
+    }
+
+    fn hw_cost(&self) -> HwCost {
+        let (_, fa, ha) = self.reduce(None);
+        let and_gate = HwCost { area_ge: 1.33, power_nw: 60.0, delay: 1.5 };
+        let partials = and_gate * (self.width * self.width) as f64;
+        let approx_cell = self.kind.hw_cost();
+        let exact_cell = FullAdderKind::Accurate.hw_cost();
+        // Half adders cost ~60 % of a full adder.
+        let cells = approx_cell * fa[0] as f64
+            + exact_cell * fa[1] as f64
+            + approx_cell * (ha[0] as f64 * 0.6)
+            + exact_cell * (ha[1] as f64 * 0.6);
+        // Final 2w-bit carry-propagate adder.
+        let cpa = exact_cell * (2 * self.width) as f64;
+        // Delay: log-depth reduction + final CPA.
+        let depth = ((self.width * self.width) as f64).log(1.5).ceil();
+        let mut cost = partials + cells + cpa;
+        cost.delay = exact_cell.delay * depth + cpa.delay * 0.25;
+        cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_wallace_4x4_exhaustive() {
+        let m = WallaceMultiplier::new(4, FullAdderKind::Accurate, 0).unwrap();
+        for a in 0u64..16 {
+            for b in 0u64..16 {
+                assert_eq!(m.mul(a, b), a * b, "{a}x{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn exact_wallace_8x8_exhaustive() {
+        let m = WallaceMultiplier::new(8, FullAdderKind::Accurate, 0).unwrap();
+        for a in 0u64..256 {
+            for b in 0u64..256 {
+                assert_eq!(m.mul(a, b), a * b, "{a}x{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn approximate_columns_confine_errors() {
+        // Errors from k approximate columns cannot reach far above bit k:
+        // the worst corruption is a wrong carry chain seeded below bit k.
+        let k = 4usize;
+        let m = WallaceMultiplier::new(8, FullAdderKind::Apx5, k).unwrap();
+        let mut max_err = 0u64;
+        for a in (0u64..256).step_by(3) {
+            for b in (0u64..256).step_by(7) {
+                max_err = max_err.max(m.mul(a, b).abs_diff(a * b));
+            }
+        }
+        assert!(max_err > 0, "approximation must actually bite");
+        assert!(max_err < 1 << (k + 4), "errors must stay near the low columns: {max_err}");
+    }
+
+    #[test]
+    fn zero_approx_columns_is_exact_for_every_kind() {
+        for kind in FullAdderKind::APPROXIMATE {
+            let m = WallaceMultiplier::new(6, kind, 0).unwrap();
+            for (a, b) in [(63u64, 63u64), (17, 42), (1, 1)] {
+                assert_eq!(m.mul(a, b), a * b, "{kind}");
+            }
+        }
+    }
+
+    #[test]
+    fn more_approx_columns_cost_less() {
+        let mut last = f64::INFINITY;
+        for cols in [0usize, 4, 8, 12] {
+            let area = WallaceMultiplier::new(8, FullAdderKind::Apx5, cols).unwrap().hw_cost().area_ge;
+            assert!(area <= last, "area must not grow with approximation");
+            last = area;
+        }
+    }
+
+    #[test]
+    fn validation() {
+        assert!(WallaceMultiplier::new(1, FullAdderKind::Accurate, 0).is_err());
+        assert!(WallaceMultiplier::new(17, FullAdderKind::Accurate, 0).is_err());
+        assert!(WallaceMultiplier::new(8, FullAdderKind::Accurate, 17).is_err());
+    }
+
+    #[test]
+    fn structural_pass_matches_live_pass_cell_counts() {
+        let m = WallaceMultiplier::new(8, FullAdderKind::Apx2, 5).unwrap();
+        let (_, fa_a, ha_a) = m.reduce(None);
+        let (_, fa_b, ha_b) = m.reduce(Some((123, 231)));
+        assert_eq!(fa_a, fa_b, "cell placement is input-independent");
+        assert_eq!(ha_a, ha_b);
+    }
+
+    #[test]
+    fn wallace_is_faster_than_recursive_composition() {
+        use crate::{Mul2x2Kind, RecursiveMultiplier, SumMode};
+        let wal = WallaceMultiplier::new(8, FullAdderKind::Accurate, 0).unwrap();
+        let rec = RecursiveMultiplier::new(8, Mul2x2Kind::Accurate, SumMode::Accurate).unwrap();
+        assert!(wal.hw_cost().delay < rec.hw_cost().delay);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(
+            WallaceMultiplier::new(8, FullAdderKind::Apx1, 3).unwrap().name(),
+            "Wallace(N=8,3cols ApxFA1)"
+        );
+        assert_eq!(WallaceMultiplier::new(8, FullAdderKind::Accurate, 0).unwrap().name(), "Wallace(N=8)");
+    }
+}

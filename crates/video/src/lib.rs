@@ -1,0 +1,48 @@
+//! # xlac-video — the motion-estimation / video-encoding substrate
+//!
+//! The paper's flagship case study (Section 6, Fig.8/Fig.9) runs
+//! approximate SAD accelerators inside an HEVC encoder. The reference HEVC
+//! codebase and its test sequences are not reproducible here, so this
+//! crate implements the minimal faithful substrate (see `DESIGN.md`):
+//!
+//! * [`sequence`] — a deterministic synthetic video generator: textured
+//!   background, moving textured objects, optional global pan and sensor
+//!   noise.
+//! * [`me`] — full-search block motion estimation with a pluggable
+//!   (approximate) SAD accelerator, including the Fig.8 **SAD error
+//!   surface** extraction.
+//! * [`encoder`] — a closed-loop block codec: motion compensation,
+//!   4×4 integer transform (the H.264/HEVC core transform), uniform
+//!   quantization, exp-Golomb bit-cost estimation and reconstruction. Its
+//!   output bit count is the **bit-rate proxy** behind Fig.9: worse motion
+//!   vectors from approximate SAD ⇒ larger residuals ⇒ more bits.
+//!
+//! # Example
+//!
+//! ```
+//! use xlac_video::sequence::{SequenceConfig, SyntheticSequence};
+//! use xlac_video::encoder::{Encoder, EncoderConfig};
+//! use xlac_accel::sad::{SadAccelerator, SadVariant};
+//!
+//! # fn main() -> Result<(), xlac_core::XlacError> {
+//! let seq = SyntheticSequence::generate(&SequenceConfig::small_test())?;
+//! let sad = SadAccelerator::new(64, SadVariant::ApxSad2, 2)?;
+//! let stats = Encoder::new(EncoderConfig::default(), sad)?.encode(seq.frames())?;
+//! assert!(stats.total_bits > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adaptive;
+pub mod encoder;
+pub mod me;
+pub mod rd;
+pub mod sequence;
+
+pub use adaptive::{AdaptiveEncoder, AdaptiveOutcome, AdaptivePolicy};
+pub use encoder::{EncodeStats, Encoder, EncoderConfig};
+pub use me::{MotionEstimator, MotionField};
+pub use sequence::{SequenceConfig, SyntheticSequence};

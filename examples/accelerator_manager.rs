@@ -1,0 +1,92 @@
+//! Section 6 demo: the approximation management unit picking accelerator
+//! modes for concurrently running applications.
+//!
+//! Characterizes the SAD accelerator in every [`ApproxMode`] (power from
+//! the workspace cost model, quality loss from the Fig.9-style encoder
+//! study), then lets the manager choose modes for three applications with
+//! different quality bounds — first independently, then under a shared
+//! power budget.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example accelerator_manager
+//! ```
+
+use xlac::accel::config::ApproxMode;
+use xlac::accel::manager::{AcceleratorOption, AppRequest, ApproximationManager};
+use xlac::accel::sad::SadAccelerator;
+use xlac::video::encoder::{Encoder, EncoderConfig};
+use xlac::video::sequence::{SequenceConfig, SyntheticSequence};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- characterize each mode on a short sequence ------------------------
+    let seq = SyntheticSequence::generate(&SequenceConfig::small_test())?;
+    let exact_bits = Encoder::new(EncoderConfig::default(), SadAccelerator::accurate(64)?)?
+        .encode(seq.frames())?
+        .total_bits as f64;
+
+    println!("characterizing SAD accelerator modes on a test sequence:");
+    println!("{:<12} {:>11} {:>18}", "mode", "power[nW]", "bitrate overhead");
+    let mut options = Vec::new();
+    for mode in ApproxMode::ALL {
+        let sad = SadAccelerator::new(
+            64,
+            match mode {
+                ApproxMode::Accurate => xlac::accel::sad::SadVariant::Accurate,
+                ApproxMode::Mild => xlac::accel::sad::SadVariant::ApxSad1,
+                ApproxMode::Medium => xlac::accel::sad::SadVariant::ApxSad3,
+                ApproxMode::Aggressive => xlac::accel::sad::SadVariant::ApxSad5,
+            },
+            mode.approx_lsbs(),
+        )?;
+        let power = sad.hw_cost().power_nw;
+        let bits =
+            Encoder::new(EncoderConfig::default(), sad)?.encode(seq.frames())?.total_bits as f64;
+        let loss = (bits / exact_bits - 1.0).max(0.0);
+        println!("{:<12} {:>11.0} {:>17.2}%", mode.to_string(), power, loss * 100.0);
+        options.push(AcceleratorOption { mode, power_nw: power, quality_loss: loss });
+    }
+
+    // --- three applications with different tolerances ----------------------
+    let requests = vec![
+        AppRequest {
+            app: "broadcast-encode".into(),
+            max_quality_loss: 0.01,
+            options: options.clone(),
+        },
+        AppRequest { app: "video-call".into(), max_quality_loss: 0.06, options: options.clone() },
+        AppRequest { app: "drone-preview".into(), max_quality_loss: 0.5, options: options.clone() },
+    ];
+
+    println!("\nper-application minimum-power selection:");
+    for pick in ApproximationManager::select_min_power(&requests)? {
+        println!(
+            "  {:<18} -> {:<10} ({:.0} nW, {:.2}% loss)",
+            pick.app,
+            pick.option.mode.to_string(),
+            pick.option.power_nw,
+            pick.option.quality_loss * 100.0
+        );
+    }
+
+    let budget: f64 = options.iter().map(|o| o.power_nw).fold(0.0, f64::max) * 2.0;
+    println!("\nselection under a global budget of {budget:.0} nW:");
+    match ApproximationManager::select_under_power_budget(&requests, budget) {
+        Ok(picks) => {
+            let total: f64 = picks.iter().map(|p| p.option.power_nw).sum();
+            for pick in &picks {
+                println!(
+                    "  {:<18} -> {:<10} ({:.0} nW)",
+                    pick.app,
+                    pick.option.mode.to_string(),
+                    pick.option.power_nw
+                );
+            }
+            println!("  total: {total:.0} nW (budget {budget:.0} nW)");
+        }
+        Err(e) => println!("  no feasible combination: {e}"),
+    }
+
+    Ok(())
+}

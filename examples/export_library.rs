@@ -1,0 +1,77 @@
+//! Exports the approximate-component library as synthesizable structural
+//! Verilog — the workspace's counterpart of the paper's open-source
+//! VHDL/Verilog releases (`approxadderlib` / `lpACLib`).
+//!
+//! Writes one `.v` file per component into `hdl/` (created next to the
+//! manifest):
+//!
+//! * the six 1-bit full adders of Table III,
+//! * 8-bit ripple-carry adders with 4 approximate LSBs per cell kind,
+//! * three GeAr configurations (including the paper's Fig.3 example),
+//! * the 2×2 multipliers of Fig.5 with their configurable variants.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example export_library
+//! ```
+
+use std::fs;
+use std::path::Path;
+use xlac::adders::hw::{gear_netlist, ripple_netlist};
+use xlac::adders::{FullAdderKind, GeArAdder, RippleCarryAdder};
+use xlac::logic::verilog::to_verilog;
+use xlac::multipliers::{ConfigurableMul2x2, Mul2x2Kind};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dir = Path::new("hdl");
+    fs::create_dir_all(dir)?;
+    let mut manifest = Vec::new();
+
+    // 1-bit cells.
+    for kind in FullAdderKind::ALL {
+        let nl = kind.structural_netlist();
+        let path = dir.join(format!("{}.v", kind.to_string().to_lowercase()));
+        fs::write(&path, to_verilog(&nl))?;
+        manifest.push((path, nl.gate_count()));
+    }
+
+    // Multi-bit ripple adders with approximate LSBs.
+    for kind in FullAdderKind::APPROXIMATE {
+        let rca = RippleCarryAdder::with_approx_lsbs(8, kind, 4)?;
+        let nl = ripple_netlist(&rca);
+        let path = dir.join(format!("rca8_{}_lsb4.v", kind.to_string().to_lowercase()));
+        fs::write(&path, to_verilog(&nl))?;
+        manifest.push((path, nl.gate_count()));
+    }
+
+    // GeAr configurations.
+    for (n, r, p) in [(12usize, 4usize, 4usize), (11, 1, 9), (16, 2, 6)] {
+        let gear = GeArAdder::new(n, r, p)?;
+        let nl = gear_netlist(&gear);
+        let path = dir.join(format!("gear_n{n}_r{r}_p{p}.v"));
+        fs::write(&path, to_verilog(&nl))?;
+        manifest.push((path, nl.gate_count()));
+    }
+
+    // 2x2 multipliers.
+    for kind in Mul2x2Kind::ALL {
+        let nl = kind.netlist();
+        let path = dir.join(format!("{}.v", kind.to_string().to_lowercase()));
+        fs::write(&path, to_verilog(&nl))?;
+        manifest.push((path, nl.gate_count()));
+    }
+    for core in [Mul2x2Kind::ApxSoA, Mul2x2Kind::ApxOur] {
+        let cfg = ConfigurableMul2x2::new(core);
+        let nl = cfg.netlist();
+        let path = dir.join(format!("{}.v", cfg.name().to_lowercase()));
+        fs::write(&path, to_verilog(&nl))?;
+        manifest.push((path, nl.gate_count()));
+    }
+
+    println!("exported {} modules into {}/:", manifest.len(), dir.display());
+    for (path, gates) in &manifest {
+        println!("  {:<28} {:>4} gates", path.file_name().unwrap().to_string_lossy(), gates);
+    }
+    Ok(())
+}

@@ -1,0 +1,57 @@
+//! # xlac — Cross-Layer Approximate Computing: From Logic to Architectures
+//!
+//! A Rust reproduction of the DAC 2016 invited paper by Shafique, Hafiz,
+//! Rehman, El-Harouni and Henkel. The workspace implements the paper's
+//! open-source component libraries (`approxadderlib` / `lpACLib`) and the
+//! methodology built on them, from the logic layer up to accelerator
+//! architectures:
+//!
+//! * [`adders`] — the IMPACT 1-bit approximate full adders (Table III),
+//!   ripple-carry adders with approximate LSBs, and the **GeAr**
+//!   accuracy-configurable adder with its analytical error models.
+//! * [`multipliers`] — 2×2 approximate multipliers (Fig.5) and recursively
+//!   composed multi-bit multipliers (Fig.6).
+//! * [`logic`] — the gate-level substrate: netlists, simulation,
+//!   Quine–McCluskey minimization, and the area/power/delay cost models that
+//!   substitute for the paper's Synopsys DC + PrimeTime flow.
+//! * [`accel`] — approximate accelerators (SAD, low-pass filter), the
+//!   consolidated error correction unit (§6.1) and the approximation
+//!   management unit.
+//! * [`video`] / [`imaging`] — the HEVC-style motion-estimation case study
+//!   (Fig.8/Fig.9) and the SSIM data-resilience study (Fig.10).
+//! * [`explore`] — design-space exploration (Table IV / Fig.4).
+//! * [`quality`], [`core`] — metrics and shared foundations.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use xlac::adders::{Adder, GeArAdder, RippleCarryAdder, FullAdderKind};
+//!
+//! # fn main() -> Result<(), xlac::core::XlacError> {
+//! // The paper's example configuration: N=12, R=4, P=4.
+//! let gear = GeArAdder::new(12, 4, 4)?;
+//! let approx = gear.add(1234, 567).value;
+//! let exact = (1234 + 567) & 0x1FFF;
+//! assert!(approx == exact || approx != exact); // may or may not err
+//!
+//! // A ripple-carry adder whose 4 LSBs use the ApxFA1 cell.
+//! let rca = RippleCarryAdder::with_approx_lsbs(8, FullAdderKind::Apx1, 4)?;
+//! let _ = rca.add(100, 55);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See `DESIGN.md` for the per-experiment index and `EXPERIMENTS.md` for
+//! paper-vs-measured results.
+
+#![forbid(unsafe_code)]
+
+pub use xlac_accel as accel;
+pub use xlac_adders as adders;
+pub use xlac_core as core;
+pub use xlac_explore as explore;
+pub use xlac_imaging as imaging;
+pub use xlac_logic as logic;
+pub use xlac_multipliers as multipliers;
+pub use xlac_quality as quality;
+pub use xlac_video as video;

@@ -1,0 +1,92 @@
+//! Reproducibility guarantees: the paper's open-sourcing goal is
+//! "to facilitate reproducible results and research", so every randomized
+//! workload in this workspace is seeded and every experiment must be
+//! bit-deterministic run to run. These tests re-run the key pipelines
+//! twice and require identical results.
+
+use xlac::accel::sad::{SadAccelerator, SadVariant};
+use xlac::adders::{FullAdderKind, GeArAdder, GearErrorModel};
+use xlac::imaging::images::TestImage;
+use xlac::imaging::resilience::{resilience_study, StudyConfig};
+use xlac::video::encoder::{Encoder, EncoderConfig};
+use xlac::video::sequence::{SequenceConfig, SyntheticSequence};
+
+#[test]
+fn cell_characterization_is_deterministic() {
+    // The OnceLock caches make repeat calls trivially equal; the real
+    // check is that the underlying flow is seed-stable.
+    for kind in FullAdderKind::ALL {
+        let nl = kind.structural_netlist();
+        let p1 = nl.switching_power(4096, 0xFA);
+        let p2 = nl.switching_power(4096, 0xFA);
+        assert_eq!(p1, p2, "{kind}");
+    }
+}
+
+#[test]
+fn monte_carlo_error_models_are_seed_stable() {
+    let model = GearErrorModel::for_adder(&GeArAdder::new(16, 4, 4).unwrap());
+    assert_eq!(model.monte_carlo(50_000, 7), model.monte_carlo(50_000, 7));
+    assert_eq!(
+        model.mean_error_distance_monte_carlo(50_000, 9),
+        model.mean_error_distance_monte_carlo(50_000, 9)
+    );
+}
+
+#[test]
+fn video_pipeline_is_bit_deterministic() {
+    let cfg = SequenceConfig::small_test();
+    let seq1 = SyntheticSequence::generate(&cfg).unwrap();
+    let seq2 = SyntheticSequence::generate(&cfg).unwrap();
+    assert_eq!(seq1, seq2);
+    let run = |seq: &SyntheticSequence| {
+        Encoder::new(
+            EncoderConfig::default(),
+            SadAccelerator::new(64, SadVariant::ApxSad3, 4).unwrap(),
+        )
+        .unwrap()
+        .encode(seq.frames())
+        .unwrap()
+    };
+    let a = run(&seq1);
+    let b = run(&seq2);
+    assert_eq!(a.total_bits, b.total_bits);
+    assert_eq!(a.frame_bits, b.frame_bits);
+    assert_eq!(a.psnr_db, b.psnr_db);
+}
+
+#[test]
+fn resilience_study_is_bit_deterministic() {
+    let cfg = StudyConfig { size: 32, kind: FullAdderKind::Apx4, approx_lsbs: 4 };
+    let a = resilience_study(&TestImage::ALL, cfg).unwrap();
+    let b = resilience_study(&TestImage::ALL, cfg).unwrap();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn masking_analysis_is_seed_stable() {
+    use xlac::accel::dataflow::Dataflow;
+    use xlac::adders::RippleCarryAdder;
+    let build = || {
+        let mut g = Dataflow::new(2, 8);
+        let apx = g.register_adder(Box::new(
+            RippleCarryAdder::with_approx_lsbs(9, FullAdderKind::Apx3, 4).unwrap(),
+        ));
+        let s = g.add(apx, g.input(0), g.input(1)).unwrap();
+        g.mark_output(s);
+        g
+    };
+    let a = build().masking_analysis(200, 5).unwrap();
+    let b = build().masking_analysis(200, 5).unwrap();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn adaptive_controller_is_deterministic() {
+    use xlac::video::adaptive::{AdaptiveEncoder, AdaptivePolicy};
+    let seq = SyntheticSequence::generate(&SequenceConfig::small_test()).unwrap();
+    let enc = AdaptiveEncoder::new(AdaptivePolicy::default()).unwrap();
+    let a = enc.encode(seq.frames()).unwrap();
+    let b = enc.encode(seq.frames()).unwrap();
+    assert_eq!(a, b);
+}

@@ -1,0 +1,285 @@
+//! Property-based tests (proptest) on the core invariants of the
+//! approximate-arithmetic library.
+
+use proptest::prelude::*;
+use xlac::adders::{Adder, FullAdderKind, GeArAdder, RippleCarryAdder, Subtractor};
+use xlac::core::bits;
+use xlac::logic::qm::{eval_cover, minimize};
+use xlac::logic::synth::{synthesize, verify_against};
+use xlac::logic::TruthTable;
+use xlac::multipliers::{Mul2x2Kind, Multiplier, RecursiveMultiplier, SumMode, WallaceMultiplier};
+
+/// A strategy for valid GeAr (n, r, p) configurations.
+fn gear_config() -> impl Strategy<Value = (usize, usize, usize)> {
+    (4usize..=20, 1usize..=6, 0usize..=8).prop_filter_map("valid GeAr config", |(n, r, p)| {
+        let l = r + p;
+        if l <= n && (n - l) % r == 0 {
+            Some((n, r, p))
+        } else {
+            None
+        }
+    })
+}
+
+proptest! {
+    /// GeAr never over-estimates: its only failure mode is a missed carry.
+    #[test]
+    fn gear_underestimates_only((n, r, p) in gear_config(), a in any::<u64>(), b in any::<u64>()) {
+        let gear = GeArAdder::new(n, r, p).unwrap();
+        let (a, b) = (bits::truncate(a, n), bits::truncate(b, n));
+        let out = gear.add(a, b);
+        prop_assert!(out.value <= a + b);
+    }
+
+    /// Full correction always reaches the exact sum, within k−1 passes.
+    #[test]
+    fn gear_correction_is_exact((n, r, p) in gear_config(), a in any::<u64>(), b in any::<u64>()) {
+        let gear = GeArAdder::new(n, r, p).unwrap();
+        let (a, b) = (bits::truncate(a, n), bits::truncate(b, n));
+        let out = gear.add_with_correction(a, b, usize::MAX);
+        prop_assert_eq!(out.value, a + b);
+        prop_assert!(out.correction_iterations < gear.sub_adder_count());
+    }
+
+    /// Detection soundness: an undetected addition is exact.
+    #[test]
+    fn gear_silence_implies_exactness((n, r, p) in gear_config(), a in any::<u64>(), b in any::<u64>()) {
+        let gear = GeArAdder::new(n, r, p).unwrap();
+        let (a, b) = (bits::truncate(a, n), bits::truncate(b, n));
+        let out = gear.add(a, b);
+        if out.errors_detected == 0 {
+            prop_assert_eq!(out.value, a + b);
+        }
+    }
+
+    /// An all-accurate ripple chain equals `+` for every width.
+    #[test]
+    fn accurate_ripple_is_plus(width in 1usize..=32, a in any::<u64>(), b in any::<u64>()) {
+        let rca = RippleCarryAdder::accurate(width);
+        let (a, b) = (bits::truncate(a, width), bits::truncate(b, width));
+        prop_assert_eq!(rca.add(a, b), a + b);
+    }
+
+    /// Approximating k LSBs bounds the adder error below 2^(k+1).
+    #[test]
+    fn ripple_error_is_prefix_bounded(
+        kind in prop::sample::select(FullAdderKind::APPROXIMATE.to_vec()),
+        k in 0usize..=6,
+        a in any::<u64>(),
+        b in any::<u64>(),
+    ) {
+        let rca = RippleCarryAdder::with_approx_lsbs(12, kind, k).unwrap();
+        let (a, b) = (bits::truncate(a, 12), bits::truncate(b, 12));
+        let err = rca.add(a, b).abs_diff(a + b);
+        prop_assert!(err < 1u64 << (k + 1), "{} err {} with {} LSBs", kind, err, k);
+    }
+
+    /// The subtractor over an exact adder is |a − b| with correct sign.
+    #[test]
+    fn exact_subtractor_is_abs_diff(width in 1usize..=16, a in any::<u64>(), b in any::<u64>()) {
+        let sub = Subtractor::new(xlac::adders::AccurateAdder::new(width));
+        let (a, b) = (bits::truncate(a, width), bits::truncate(b, width));
+        let (mag, ge) = sub.sub(a, b);
+        prop_assert_eq!(mag, a.abs_diff(b));
+        prop_assert_eq!(ge, a >= b);
+    }
+
+    /// QM minimization always reproduces the specified function.
+    #[test]
+    fn qm_cover_is_equivalent(n in 1usize..=6, on_set in any::<u64>()) {
+        let limit = 1u64 << n;
+        let minterms: Vec<u64> = (0..limit).filter(|&m| (on_set >> (m % 64)) & 1 == 1).collect();
+        let cover = minimize(n, &minterms);
+        for x in 0..limit {
+            let expect = u64::from(minterms.contains(&x));
+            prop_assert_eq!(eval_cover(&cover, x), expect);
+        }
+    }
+
+    /// Synthesized netlists are functionally equivalent to their tables.
+    #[test]
+    fn synthesis_preserves_function(n in 1usize..=5, outs in 1usize..=3, seed in any::<u64>()) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let rows: Vec<u64> = (0..(1u64 << n)).map(|_| rng.gen::<u64>() & ((1 << outs) - 1)).collect();
+        let tt = TruthTable::from_rows(n, outs, rows).unwrap();
+        let nl = synthesize("prop", &tt).unwrap();
+        prop_assert_eq!(verify_against(&nl, &tt), 0);
+    }
+
+    /// Both approximate 2×2 multiplier designs respect their published
+    /// worst-case error bound at every operand pair.
+    #[test]
+    fn mul2x2_error_bounds(a in 0u64..4, b in 0u64..4) {
+        prop_assert!(Mul2x2Kind::ApxSoA.mul(a, b).abs_diff(a * b) <= 2);
+        prop_assert!(Mul2x2Kind::ApxOur.mul(a, b).abs_diff(a * b) <= 1);
+    }
+
+    /// Recursive multipliers with accurate blocks and accurate summation
+    /// are exact at every power-of-two width.
+    #[test]
+    fn accurate_recursive_multiplier_is_exact(
+        w in prop::sample::select(vec![2usize, 4, 8, 16]),
+        a in any::<u64>(),
+        b in any::<u64>(),
+    ) {
+        let m = RecursiveMultiplier::new(w, Mul2x2Kind::Accurate, SumMode::Accurate).unwrap();
+        let (a, b) = (bits::truncate(a, w), bits::truncate(b, w));
+        prop_assert_eq!(m.mul(a, b), a * b);
+    }
+
+    /// The exact Wallace tree agrees with `*`.
+    #[test]
+    fn accurate_wallace_is_exact(w in 2usize..=10, a in any::<u64>(), b in any::<u64>()) {
+        let m = WallaceMultiplier::new(w, FullAdderKind::Accurate, 0).unwrap();
+        let (a, b) = (bits::truncate(a, w), bits::truncate(b, w));
+        prop_assert_eq!(m.mul(a, b), a * b);
+    }
+
+    /// SSIM is 1 exactly on identical images and symmetric on distinct
+    /// ones.
+    #[test]
+    fn ssim_identity_and_symmetry(seed in any::<u64>()) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let a = xlac::core::Grid::from_fn(16, 16, |_, _| rng.gen_range(0.0..255.0));
+        let b = xlac::core::Grid::from_fn(16, 16, |_, _| rng.gen_range(0.0..255.0));
+        let same = xlac::quality::ssim(&a, &a).unwrap();
+        prop_assert!((same - 1.0).abs() < 1e-9);
+        let ab = xlac::quality::ssim(&a, &b).unwrap();
+        let ba = xlac::quality::ssim(&b, &a).unwrap();
+        prop_assert!((ab - ba).abs() < 1e-9);
+        prop_assert!(ab <= 1.0 + 1e-9);
+    }
+
+    /// Bit-field insert/extract round-trips for arbitrary fields.
+    #[test]
+    fn bit_field_roundtrip(value in any::<u64>(), lo in 0usize..60, len in 1usize..=4, bits_in in any::<u64>()) {
+        let w = bits::with_field(value, lo, len, bits_in);
+        prop_assert_eq!(bits::field(w, lo, len), bits::truncate(bits_in, len));
+        // Bits outside the field are untouched.
+        let mask = bits::mask(len) << lo;
+        prop_assert_eq!(w & !mask, value & !mask);
+    }
+
+    /// Two's-complement signed round-trip at every width.
+    #[test]
+    fn signed_roundtrip(width in 1usize..=64, v in any::<u64>()) {
+        let v = bits::truncate(v, width);
+        prop_assert_eq!(bits::from_signed(bits::to_signed(v, width), width), v);
+    }
+}
+
+proptest! {
+    /// The exact array divider satisfies the Euclidean invariant.
+    #[test]
+    fn divider_euclidean_invariant(n in any::<u64>(), d in 1u64..256) {
+        let div = xlac::adders::ArrayDivider::accurate(8).unwrap();
+        let n = bits::truncate(n, 8);
+        let d = bits::truncate(d, 8).max(1);
+        let (q, r) = div.divide(n, d).unwrap();
+        prop_assert_eq!(q * d + r, n);
+        prop_assert!(r < d);
+    }
+
+    /// LOA errors are confined below the lower-part boundary.
+    #[test]
+    fn loa_error_is_lower_part_bounded(lower in 0usize..=8, a in any::<u64>(), b in any::<u64>()) {
+        let loa = xlac::adders::LoaAdder::new(12, lower).unwrap();
+        let (a, b) = (bits::truncate(a, 12), bits::truncate(b, 12));
+        let err = loa.add(a, b).abs_diff(a + b);
+        prop_assert!(err < 1u64 << (lower + 1), "err {} with {} lower bits", err, lower);
+    }
+
+    /// The truncated adder's error is exactly the difference between the
+    /// forced low bits and the discarded true low sum plus lost carry.
+    #[test]
+    fn truncated_adder_error_bound(t in 0usize..=8, a in any::<u64>(), b in any::<u64>()) {
+        let tra = xlac::adders::TruncatedAdder::new(12, t).unwrap();
+        let (a, b) = (bits::truncate(a, 12), bits::truncate(b, 12));
+        let err = tra.add(a, b).abs_diff(a + b);
+        prop_assert!(err < 1u64 << (t + 1));
+    }
+
+    /// Truncated-multiplier errors never exceed the dropped-column mass.
+    #[test]
+    fn truncated_multiplier_mass_bound(k in 0usize..=8, a in any::<u64>(), b in any::<u64>()) {
+        use xlac::multipliers::TruncatedMultiplier;
+        let m = TruncatedMultiplier::new(8, k, false).unwrap();
+        let (a, b) = (bits::truncate(a, 8), bits::truncate(b, 8));
+        let bound: u64 = (0..k).map(|c| ((c as u64 + 1).min(8)) << c).sum();
+        prop_assert!(m.mul(a, b).abs_diff(a * b) <= bound);
+    }
+
+    /// Netlist optimization preserves the function of synthesized logic.
+    #[test]
+    fn optimizer_preserves_random_functions(n in 2usize..=5, seed in any::<u64>()) {
+        use rand::{Rng, SeedableRng};
+        use xlac::logic::opt::optimize;
+        use xlac::logic::equiv::check_equivalence;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let rows: Vec<u64> = (0..(1u64 << n)).map(|_| rng.gen::<u64>() & 0b11).collect();
+        let tt = TruthTable::from_rows(n, 2, rows).unwrap();
+        let nl = synthesize("p", &tt).unwrap();
+        let opt = optimize(&nl);
+        prop_assert_eq!(check_equivalence(&nl, &opt).unwrap(), None);
+        prop_assert!(opt.gate_count() <= nl.gate_count());
+    }
+
+    /// Elaborated ripple netlists equal their behavioural models for any
+    /// cell mix.
+    #[test]
+    fn elaboration_matches_behaviour(
+        kind in prop::sample::select(FullAdderKind::ALL.to_vec()),
+        lsbs in 0usize..=5,
+        a in any::<u64>(),
+        b in any::<u64>(),
+    ) {
+        use xlac::adders::hw::{pack_operands, ripple_netlist};
+        let rca = RippleCarryAdder::with_approx_lsbs(5, kind, lsbs.min(5)).unwrap();
+        let nl = ripple_netlist(&rca);
+        let (a, b) = (bits::truncate(a, 5), bits::truncate(b, 5));
+        prop_assert_eq!(nl.eval(pack_operands(a, b, 5)), rca.add(a, b));
+    }
+
+    /// BD-rate of a curve against itself is zero, and scaling the rate by
+    /// a constant factor recovers that factor.
+    #[test]
+    fn bd_rate_scaling_identity(factor in 1.01f64..2.0) {
+        use xlac::video::rd::{bd_rate, RdPoint};
+        let base: Vec<RdPoint> = (0..4)
+            .map(|i| RdPoint { bits: 1000.0 * (1 << i) as f64, psnr_db: 30.0 + 3.0 * i as f64 })
+            .collect();
+        let scaled: Vec<RdPoint> =
+            base.iter().map(|p| RdPoint { bits: p.bits * factor, ..*p }).collect();
+        let bd = bd_rate(&base, &scaled).unwrap();
+        prop_assert!((bd - (factor - 1.0) * 100.0).abs() < 0.5);
+        prop_assert!(bd_rate(&base, &base).unwrap().abs() < 1e-9);
+    }
+
+    /// The signed multiplier is odd in each argument (for a core without
+    /// constant compensation — a compensated core is intentionally
+    /// non-zero at zero, breaking oddness there).
+    #[test]
+    fn signed_multiplier_is_odd(a in -127i64..=127, b in -127i64..=127) {
+        use xlac::multipliers::{SignedMultiplier, TruncatedMultiplier};
+        let m = SignedMultiplier::new(TruncatedMultiplier::new(8, 4, false).unwrap());
+        prop_assert_eq!(m.mul_signed(a, b), m.mul_signed(-a, -b));
+        prop_assert_eq!(m.mul_signed(-a, b), -m.mul_signed(a, b));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The analytical GeAr error model matches Monte-Carlo simulation for
+    /// random configurations (heavier test: fewer cases).
+    #[test]
+    fn gear_error_model_matches_simulation((n, r, p) in gear_config()) {
+        let gear = GeArAdder::new(n, r, p).unwrap();
+        let model = xlac::adders::GearErrorModel::for_adder(&gear);
+        let analytic = model.exact();
+        let mc = model.monte_carlo(60_000, 0xABCD);
+        prop_assert!((analytic - mc).abs() < 0.02, "N={} R={} P={}: {} vs {}", n, r, p, analytic, mc);
+    }
+}
