@@ -173,7 +173,7 @@ impl CecUnit {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::{Rng, SeedableRng};
+    use xlac_core::rng::{DefaultRng, Rng};
 
     fn gear() -> GeArAdder {
         GeArAdder::new(12, 4, 4).unwrap()
@@ -206,7 +206,7 @@ mod tests {
 
     #[test]
     fn correction_never_hurts_on_average() {
-        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(77);
+        let mut rng = DefaultRng::seed_from_u64(77);
         let cascade = AdderCascade::new(gear(), 6).unwrap();
         let cec = CecUnit::new();
         let mut raw_err_sum = 0u64;
@@ -230,7 +230,7 @@ mod tests {
     #[test]
     fn flagged_offsets_take_specific_values_only() {
         // The CEC premise: error magnitudes are confined to 2^{s·R+P}.
-        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+        let mut rng = DefaultRng::seed_from_u64(3);
         let g = gear(); // offsets can only be 8 (single boundary for N=12,R=4,P=4)
         let cascade = AdderCascade::new(g, 4).unwrap();
         for _ in 0..500 {

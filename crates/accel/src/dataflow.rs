@@ -34,8 +34,7 @@
 //! # }
 //! ```
 
-use rand::Rng;
-use rand::SeedableRng;
+use xlac_core::rng::{DefaultRng, Rng};
 use xlac_adders::{Adder, Subtractor};
 use xlac_core::bits;
 use xlac_core::error::{Result, XlacError};
@@ -328,7 +327,7 @@ impl Dataflow {
     ///
     /// Propagates evaluation errors (no outputs marked).
     pub fn masking_analysis(&self, samples: u64, seed: u64) -> Result<Vec<MaskingReport>> {
-        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let mut rng = DefaultRng::seed_from_u64(seed);
         let operator_nodes: Vec<NodeId> = self
             .nodes
             .iter()

@@ -193,7 +193,7 @@ impl DctAccelerator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::{Rng, SeedableRng};
+    use xlac_core::rng::{DefaultRng, Rng};
 
     fn random_block(rng: &mut impl Rng) -> [[i64; 4]; 4] {
         let mut b = [[0i64; 4]; 4];
@@ -208,7 +208,7 @@ mod tests {
     #[test]
     fn accurate_accelerator_matches_reference() {
         let acc = DctAccelerator::accurate().unwrap();
-        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(4);
+        let mut rng = DefaultRng::seed_from_u64(4);
         for _ in 0..200 {
             let block = random_block(&mut rng);
             assert_eq!(acc.forward(&block), DctAccelerator::forward_exact(&block));
@@ -220,7 +220,7 @@ mod tests {
         // Cross-check the butterfly against the explicit C·X·Cᵀ product.
         const CORE: [[i64; 4]; 4] =
             [[1, 1, 1, 1], [2, 1, -1, -2], [1, -1, -1, 1], [1, -2, 2, -1]];
-        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(5);
+        let mut rng = DefaultRng::seed_from_u64(5);
         for _ in 0..50 {
             let x = random_block(&mut rng);
             let mut tmp = [[0i64; 4]; 4];
@@ -250,7 +250,7 @@ mod tests {
 
     #[test]
     fn approximate_error_grows_with_lsbs() {
-        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(6);
+        let mut rng = DefaultRng::seed_from_u64(6);
         let blocks: Vec<[[i64; 4]; 4]> = (0..100).map(|_| random_block(&mut rng)).collect();
         let mut last = -1.0f64;
         for lsbs in [0usize, 2, 4, 6] {

@@ -256,8 +256,8 @@ mod tests {
 
     #[test]
     fn accurate_mode_matches_reference_on_random_data() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0xF1);
+        use xlac_core::rng::{DefaultRng, Rng};
+        let mut rng = DefaultRng::seed_from_u64(0xF1);
         let h: Vec<i64> = (0..7).map(|_| rng.gen_range(-31..=31)).collect();
         let x: Vec<u64> = (0..64).map(|_| rng.gen_range(0..256)).collect();
         let fir = FirAccelerator::new(&h, ApproxMode::Accurate).unwrap();
@@ -278,8 +278,8 @@ mod tests {
 
     #[test]
     fn approximate_modes_degrade_gracefully() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0xF2);
+        use xlac_core::rng::{DefaultRng, Rng};
+        let mut rng = DefaultRng::seed_from_u64(0xF2);
         let h = [1i64, 4, 6, 4, 1]; // binomial smoother
         let x: Vec<u64> = (0..128).map(|_| rng.gen_range(0..256)).collect();
         let exact = FirAccelerator::apply_exact(&h, &x);

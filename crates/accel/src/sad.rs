@@ -282,8 +282,8 @@ mod tests {
     fn approximation_error_grows_with_lsbs() {
         // Mean |SAD_apx − SAD_exact| must be non-decreasing in the LSB
         // count — the x-axis of Fig.9.
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(42);
+        use xlac_core::rng::{DefaultRng, Rng};
+        let mut rng = DefaultRng::seed_from_u64(42);
         let blocks: Vec<(Vec<u64>, Vec<u64>)> = (0..200)
             .map(|_| {
                 let c: Vec<u64> = (0..16).map(|_| rng.gen_range(0..256)).collect();

@@ -1,19 +1,22 @@
-//! Criterion micro-benchmarks: accelerator-level workloads — SAD blocks,
+//! Micro-benchmarks: accelerator-level workloads — SAD blocks,
 //! motion-estimation block search, low-pass filtering and the synthesis
 //! flow itself.
+//!
+//! Runs on the in-house harness (`xlac_bench::harness`); set
+//! `XLAC_BENCH_QUICK=1` for a smoke run.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use xlac_accel::filter::FilterAccelerator;
 use xlac_accel::sad::{SadAccelerator, SadVariant};
 use xlac_adders::FullAdderKind;
+use xlac_bench::{black_box, Harness};
 use xlac_core::Grid;
 use xlac_imaging::images::TestImage;
 use xlac_logic::synth::synthesize;
 use xlac_video::me::MotionEstimator;
 use xlac_video::sequence::{SequenceConfig, SyntheticSequence};
 
-fn bench_sad(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sad_64_lane");
+fn bench_sad() {
+    let mut h = Harness::group("sad_64_lane");
     let cur: Vec<u64> = (0..64).map(|i| (i * 37 + 11) % 256).collect();
     let refb: Vec<u64> = (0..64).map(|i| (i * 53 + 7) % 256).collect();
     for (name, variant, lsbs) in [
@@ -22,56 +25,45 @@ fn bench_sad(c: &mut Criterion) {
         ("apx5_lsb6", SadVariant::ApxSad5, 6),
     ] {
         let sad = SadAccelerator::new(64, variant, lsbs).unwrap();
-        group.bench_function(name, |b| {
-            b.iter(|| sad.sad(black_box(&cur), black_box(&refb)).unwrap())
-        });
+        h.bench(name, || sad.sad(black_box(&cur), black_box(&refb)).unwrap());
     }
-    group.bench_function("software_reference", |b| {
-        b.iter(|| SadAccelerator::sad_exact(black_box(&cur), black_box(&refb)))
-    });
-    group.finish();
+    h.bench("software_reference", || SadAccelerator::sad_exact(black_box(&cur), black_box(&refb)));
 }
 
-fn bench_motion_estimation(c: &mut Criterion) {
+fn bench_motion_estimation() {
     let seq = SyntheticSequence::generate(&SequenceConfig::small_test()).unwrap();
     let cur = seq.frames()[1].clone();
     let reff = seq.frames()[0].clone();
-    let mut group = c.benchmark_group("motion_estimation_64x64");
-    group.sample_size(20);
+    let mut h = Harness::group("motion_estimation_64x64");
     for (name, variant, lsbs) in
         [("accurate", SadVariant::Accurate, 0usize), ("apx3_lsb4", SadVariant::ApxSad3, 4)]
     {
         let me = MotionEstimator::new(SadAccelerator::new(64, variant, lsbs).unwrap(), 4).unwrap();
-        group.bench_function(name, |b| {
-            b.iter(|| me.estimate(black_box(&cur), black_box(&reff)).unwrap())
-        });
+        h.bench(name, || me.estimate(black_box(&cur), black_box(&reff)).unwrap());
     }
-    group.finish();
 }
 
-fn bench_filter(c: &mut Criterion) {
+fn bench_filter() {
     let img: Grid<u64> = TestImage::Clouds.render(64);
-    let mut group = c.benchmark_group("lowpass_64x64");
+    let mut h = Harness::group("lowpass_64x64");
     let exact = FilterAccelerator::accurate().unwrap();
     let approx = FilterAccelerator::new(FullAdderKind::Apx3, 4).unwrap();
-    group.bench_function("accurate", |b| b.iter(|| exact.apply(black_box(&img)).unwrap()));
-    group.bench_function("apx3_lsb4", |b| b.iter(|| approx.apply(black_box(&img)).unwrap()));
-    group.finish();
+    h.bench("accurate", || exact.apply(black_box(&img)).unwrap());
+    h.bench("apx3_lsb4", || approx.apply(black_box(&img)).unwrap());
 }
 
-fn bench_synthesis(c: &mut Criterion) {
+fn bench_synthesis() {
     // The DC-substitute itself: QM synthesis of the full-adder cells.
-    let mut group = c.benchmark_group("synthesis_flow");
-    group.bench_function("qm_full_adder", |b| {
-        let tt = FullAdderKind::Accurate.truth_table();
-        b.iter(|| synthesize("fa", black_box(&tt)).unwrap())
-    });
-    group.bench_function("power_estimation_4k_vectors", |b| {
-        let nl = FullAdderKind::Accurate.structural_netlist();
-        b.iter(|| black_box(nl.switching_power(4096, 1)))
-    });
-    group.finish();
+    let mut h = Harness::group("synthesis_flow");
+    let tt = FullAdderKind::Accurate.truth_table();
+    h.bench("qm_full_adder", || synthesize("fa", black_box(&tt)).unwrap());
+    let nl = FullAdderKind::Accurate.structural_netlist();
+    h.bench("power_estimation_4k_vectors", || black_box(nl.switching_power(4096, 1)));
 }
 
-criterion_group!(benches, bench_sad, bench_motion_estimation, bench_filter, bench_synthesis);
-criterion_main!(benches);
+fn main() {
+    bench_sad();
+    bench_motion_estimation();
+    bench_filter();
+    bench_synthesis();
+}

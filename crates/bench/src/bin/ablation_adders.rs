@@ -6,7 +6,7 @@
 //! delay, error rate and mean error distance under uniform inputs —
 //! the cross-family view the survey argues designers need.
 
-use rand::SeedableRng;
+use xlac_core::rng::DefaultRng;
 use xlac_adders::{
     Adder, CarryLookaheadAdder, FullAdderKind, GeArAdder, LoaAdder, RippleCarryAdder,
     TruncatedAdder,
@@ -16,7 +16,7 @@ use xlac_core::metrics::{sampled_binary, ErrorStats};
 
 fn quality(adder: &dyn Adder, samples: u64) -> ErrorStats {
     let w = adder.width();
-    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0xAB1A);
+    let mut rng = DefaultRng::seed_from_u64(0xAB1A);
     sampled_binary(w, w, samples, &mut rng, |a, b| a + b, |a, b| adder.add(a, b))
 }
 

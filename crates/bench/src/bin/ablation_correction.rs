@@ -7,7 +7,7 @@
 //! actually needed — quantifying the design choice DESIGN.md calls out
 //! (variable-latency correction vs always-on worst-case latency).
 
-use rand::{Rng, SeedableRng};
+use xlac_core::rng::{DefaultRng, Rng};
 use xlac_bench::{check, header, row, section};
 use xlac_adders::GeArAdder;
 
@@ -15,7 +15,7 @@ fn main() {
     let gear = GeArAdder::new(16, 2, 2).expect("valid"); // k = 7: deep cascade
     let k = gear.sub_adder_count();
     let samples = 200_000u64;
-    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0xC0BE);
+    let mut rng = DefaultRng::seed_from_u64(0xC0BE);
     let pairs: Vec<(u64, u64)> = (0..samples)
         .map(|_| (rng.gen::<u64>() & 0xFFFF, rng.gen::<u64>() & 0xFFFF))
         .collect();

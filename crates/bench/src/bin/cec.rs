@@ -2,7 +2,7 @@
 //! accuracy-configurable adders — quality recovered and area saved versus
 //! per-adder integrated EDC.
 
-use rand::{Rng, SeedableRng};
+use xlac_core::rng::{DefaultRng, Rng};
 use xlac_accel::cec::{AdderCascade, CecUnit};
 use xlac_adders::GeArAdder;
 use xlac_bench::{check, header, row, section};
@@ -16,7 +16,7 @@ fn main() {
     let mut recovery_ok = true;
     for stages in [2usize, 4, 8, 16] {
         let cascade = AdderCascade::new(gear, stages).expect("valid");
-        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0xCEC + stages as u64);
+        let mut rng = DefaultRng::seed_from_u64(0xCEC + stages as u64);
         let runs = 3000;
         let limit = 0xFFF / stages as u64; // keep the sum inside 12 bits
         let (mut raw, mut fixed) = (0f64, 0f64);
@@ -66,7 +66,7 @@ fn main() {
         "error magnitudes take only the specific sub-adder offsets (2^8 here)",
         {
             let cascade = AdderCascade::new(gear, 6).expect("valid");
-            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(9);
+            let mut rng = DefaultRng::seed_from_u64(9);
             (0..1000).all(|_| {
                 let xs: Vec<u64> = (0..6).map(|_| rng.gen_range(0..0x2AA)).collect();
                 cascade

@@ -6,7 +6,7 @@
 //! (accurate adders vs 4 approximate LSBs). Quality is exhaustive up to
 //! 8×8 and sampled (1M pairs) at 16×16.
 
-use rand::SeedableRng;
+use xlac_core::rng::DefaultRng;
 use xlac_adders::FullAdderKind;
 use xlac_bench::{check, header, row, section};
 use xlac_core::metrics::{exhaustive_binary, sampled_binary, ErrorStats};
@@ -17,7 +17,7 @@ fn quality(m: &RecursiveMultiplier) -> ErrorStats {
     if 2 * w <= 16 {
         exhaustive_binary(w, w, |a, b| a * b, |a, b| m.mul(a, b))
     } else {
-        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0xF16);
+        let mut rng = DefaultRng::seed_from_u64(0xF16);
         sampled_binary(w, w, 1_000_000, &mut rng, |a, b| a * b, |a, b| m.mul(a, b))
     }
 }

@@ -18,12 +18,16 @@
 //! qualitative claim, checks the claim and reports `SHAPE OK` /
 //! `SHAPE DIVERGES` — so the harness doubles as a regression gate.
 //!
-//! Criterion micro-benchmarks of the arithmetic throughput live under
-//! `benches/` (`cargo bench -p xlac-bench`).
+//! Micro-benchmarks of the arithmetic throughput live under `benches/`
+//! (`cargo bench -p xlac-bench`), running on the in-house [`harness`]
+//! (warmup-calibrated, median-of-N, JSON-lines output) so the workspace
+//! needs no external benchmark crate.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod harness;
 pub mod report;
 
+pub use harness::{black_box, BenchResult, Harness};
 pub use report::{check, header, row, section};

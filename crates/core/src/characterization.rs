@@ -34,7 +34,6 @@ use std::ops::{Add, AddAssign, Mul};
 /// Delay composes by addition too, matching serial (chained) composition —
 /// for parallel composition take the `max` explicitly.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct HwCost {
     /// Area in gate equivalents (1 GE = one NAND2).
     pub area_ge: f64,
@@ -120,7 +119,6 @@ impl Sum for HwCost {
 /// This is the row format of the paper's characterization tables
 /// (Table III, Fig.5) and the input record of the design-space explorer.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ComponentProfile {
     /// Human-readable component name (e.g. `"ApxFA3"`, `"GeAr(N=11,R=3,P=5)"`).
     pub name: String,

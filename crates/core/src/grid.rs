@@ -27,7 +27,6 @@ use std::ops::{Index, IndexMut};
 
 /// A dense row-major 2-D array of `T`.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Grid<T> {
     rows: usize,
     cols: usize,

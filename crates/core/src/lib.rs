@@ -21,6 +21,13 @@
 //!   Tables I and II of the paper (approximation categories, stack layers and
 //!   the surveyed techniques).
 //! * [`error`] — the workspace error type [`error::XlacError`].
+//! * [`rng`] — vendored deterministic PRNGs (SplitMix64 and
+//!   xoshiro256\*\*) behind the [`rng::Rng`] trait, with range sampling,
+//!   shuffling and stream splitting. The workspace builds offline, so this
+//!   replaces the `rand` crates everywhere.
+//! * [`check`] — a seeded property-testing harness (case generation,
+//!   env-configurable case counts, integer/vec shrinking) replacing
+//!   `proptest`.
 //!
 //! # Example
 //!
@@ -40,9 +47,11 @@
 
 pub mod bits;
 pub mod characterization;
+pub mod check;
 pub mod error;
 pub mod grid;
 pub mod metrics;
+pub mod rng;
 pub mod taxonomy;
 
 pub use characterization::{ComponentProfile, HwCost};

@@ -34,7 +34,6 @@ use std::collections::BTreeSet;
 /// `|approx − exact|`; the signed mean (`mean_signed_error`) keeps the
 /// direction for bias analysis.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ErrorStats {
     /// Number of `(exact, approx)` pairs observed.
     pub samples: u64,
@@ -175,13 +174,13 @@ pub fn sampled_binary<E, A, R>(
 where
     E: FnMut(u64, u64) -> u64,
     A: FnMut(u64, u64) -> u64,
-    R: rand::Rng,
+    R: crate::rng::Rng,
 {
     let ma = crate::bits::mask(width_a);
     let mb = crate::bits::mask(width_b);
     ErrorStats::from_pairs((0..samples).map(|_| {
-        let a = rng.gen::<u64>() & ma;
-        let b = rng.gen::<u64>() & mb;
+        let a = rng.next_u64() & ma;
+        let b = rng.next_u64() & mb;
         (exact(a, b), approx(a, b))
     }))
 }
@@ -203,7 +202,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use crate::rng::DefaultRng;
 
     #[test]
     fn perfect_operator_has_zero_errors() {
@@ -259,7 +258,7 @@ mod tests {
         let exact = |a: u64, b: u64| a + b;
         let approx = |a: u64, b: u64| (a + b) & !1;
         let ex = exhaustive_binary(6, 6, exact, approx);
-        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+        let mut rng = DefaultRng::seed_from_u64(7);
         let sm = sampled_binary(6, 6, 40_000, &mut rng, exact, approx);
         assert!((ex.error_rate - 0.5).abs() < 1e-12);
         assert!((sm.error_rate - 0.5).abs() < 0.02);

@@ -29,14 +29,14 @@ use xlac_core::ComponentProfile;
 use xlac_multipliers::{
     Mul2x2Kind, Multiplier, RecursiveMultiplier, SumMode, TruncatedMultiplier, WallaceMultiplier,
 };
-use rand::SeedableRng;
+use xlac_core::rng::DefaultRng;
 
 fn quality<M: Multiplier>(m: &M, samples: u64) -> ErrorStats {
     let w = m.width();
     if 2 * w <= 16 {
         exhaustive_binary(w, w, |a, b| a * b, |a, b| m.mul(a, b))
     } else {
-        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0x3113);
+        let mut rng = DefaultRng::seed_from_u64(0x3113);
         sampled_binary(w, w, samples, &mut rng, |a, b| a * b, |a, b| m.mul(a, b))
     }
 }

@@ -71,8 +71,8 @@ mod tests {
 
     #[test]
     fn frontier_is_mutually_non_dominated_and_covers_dominated_points() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(21);
+        use xlac_core::rng::{DefaultRng, Rng};
+        let mut rng = DefaultRng::seed_from_u64(21);
         let pts: Vec<(f64, f64, f64)> =
             (0..200).map(|_| (rng.gen(), rng.gen(), rng.gen())).collect();
         type Objective3<'a> = &'a dyn Fn(&(f64, f64, f64)) -> f64;

@@ -17,8 +17,7 @@
 //! assert!(img.iter().all(|&v| v <= 255));
 //! ```
 
-use rand::Rng;
-use rand::SeedableRng;
+use xlac_core::rng::{DefaultRng, Rng};
 use xlac_core::Grid;
 
 /// The seven Fig.10 stand-in images, ordered from smoothest to most
@@ -99,7 +98,7 @@ impl TestImage {
             }),
             TestImage::Clouds => {
                 // Two octaves of bilinear value noise from a fixed seed.
-                let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0xC10D);
+                let mut rng = DefaultRng::seed_from_u64(0xC10D);
                 let coarse: Vec<f64> = (0..81).map(|_| rng.gen_range(0.0..1.0)).collect();
                 let fine: Vec<f64> = (0..289).map(|_| rng.gen_range(0.0..1.0)).collect();
                 let sample = |grid: &[f64], cells: usize, x: f64, y: f64| -> f64 {
@@ -136,7 +135,7 @@ impl TestImage {
                 Grid::from_fn(size, size, |r, c| if (r + c) % 2 == 0 { 255 } else { 0 })
             }
             TestImage::Noise => {
-                let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0x0153);
+                let mut rng = DefaultRng::seed_from_u64(0x0153);
                 Grid::from_fn(size, size, |_, _| rng.gen_range(0..256))
             }
         }

@@ -138,8 +138,8 @@ mod tests {
 
     #[test]
     fn optimizer_outputs_verify_formally() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0xE9);
+        use xlac_core::rng::{DefaultRng, Rng};
+        let mut rng = DefaultRng::seed_from_u64(0xE9);
         for n in 2..=5usize {
             for outs in 1..=2usize {
                 let rows: Vec<u64> =

@@ -34,8 +34,7 @@
 //! ```
 
 use crate::gate::GateKind;
-use rand::Rng;
-use rand::SeedableRng;
+use xlac_core::rng::{DefaultRng, Rng};
 use xlac_core::error::{Result, XlacError};
 
 /// A wire in a netlist: a primary input, the output of a gate, or a
@@ -355,7 +354,7 @@ impl Netlist {
     #[must_use]
     pub fn switching_power(&self, vectors: usize, seed: u64) -> f64 {
         assert!(vectors >= 2, "need at least two vectors to observe toggles");
-        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let mut rng = DefaultRng::seed_from_u64(seed);
         let mut toggles = vec![0u64; self.gates.len()];
         let mut prev: Option<Vec<u64>> = None;
         let mut applied = 0usize;

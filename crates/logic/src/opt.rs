@@ -379,8 +379,8 @@ mod tests {
 
     #[test]
     fn random_netlists_stay_equivalent() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0x09);
+        use xlac_core::rng::{DefaultRng, Rng};
+        let mut rng = DefaultRng::seed_from_u64(0x09);
         for trial in 0..40 {
             let n_in = rng.gen_range(2..=4usize);
             let mut b = NetlistBuilder::new("rand", n_in);

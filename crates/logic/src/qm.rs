@@ -351,8 +351,8 @@ mod tests {
 
     #[test]
     fn random_functions_are_reproduced() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(99);
+        use xlac_core::rng::{DefaultRng, Rng};
+        let mut rng = DefaultRng::seed_from_u64(99);
         for n in 2..=6usize {
             for _ in 0..20 {
                 let minterms: Vec<u64> = (0..(1u64 << n)).filter(|_| rng.gen::<bool>()).collect();

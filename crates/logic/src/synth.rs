@@ -232,8 +232,8 @@ mod tests {
 
     #[test]
     fn every_random_table_synthesizes_equivalently() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(5);
+        use xlac_core::rng::{DefaultRng, Rng};
+        let mut rng = DefaultRng::seed_from_u64(5);
         for n in 1..=5usize {
             for outs in 1..=3usize {
                 let rows: Vec<u64> =

@@ -220,13 +220,13 @@ mod tests {
 
     #[test]
     fn ssim_decreases_with_noise_amplitude() {
-        use rand::{Rng, SeedableRng};
+        use xlac_core::rng::{DefaultRng, Rng};
         let a = ramp(32, 32);
         let mut last = 1.0f64;
         for amplitude in [2.0, 8.0, 32.0, 96.0] {
-            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(11);
+            let mut rng = DefaultRng::seed_from_u64(11);
             let noisy = a.map(|v| {
-                (v + rng.gen_range(-amplitude..amplitude)).clamp(0.0, 255.0)
+                (v + rng.gen_range::<f64, _>(-amplitude..amplitude)).clamp(0.0, 255.0)
             });
             let s = ssim(&a, &noisy).unwrap();
             assert!(s < last, "SSIM must fall as noise grows: {s} !< {last}");
@@ -257,10 +257,10 @@ mod tests {
     fn ssim_luminance_shift_is_forgiven_more_than_noise() {
         // A mild uniform brightness shift preserves structure and should
         // score higher than structure-destroying noise of equal MSE.
-        use rand::{Rng, SeedableRng};
+        use xlac_core::rng::{DefaultRng, Rng};
         let a = ramp(32, 32);
         let shift = a.map(|v| (v + 10.0).min(255.0));
-        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+        let mut rng = DefaultRng::seed_from_u64(3);
         let noisy = a.map(|v| (v + if rng.gen::<bool>() { 10.0 } else { -10.0 }).clamp(0.0, 255.0));
         let mse_shift = mse(&a, &shift).unwrap();
         let mse_noise = mse(&a, &noisy).unwrap();

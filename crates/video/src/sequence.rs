@@ -19,8 +19,7 @@
 //! # }
 //! ```
 
-use rand::Rng;
-use rand::SeedableRng;
+use xlac_core::rng::{DefaultRng, Rng};
 use xlac_core::error::{Result, XlacError};
 use xlac_core::Grid;
 
@@ -155,7 +154,7 @@ impl SyntheticSequence {
             + 8;
         let bg_h = config.height + 2 * margin;
         let bg_w = config.width + 2 * margin;
-        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(config.seed);
+        let mut rng = DefaultRng::seed_from_u64(config.seed);
         // Smooth-ish background texture: coarse noise + fine detail.
         let coarse: Grid<u64> =
             Grid::from_fn(bg_h / 8 + 2, bg_w / 8 + 2, |_, _| rng.gen_range(60..180));

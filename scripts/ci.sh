@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Offline CI gate for the xlac workspace.
+#
+# The workspace is hermetic (no external crates), so every step runs with
+# --offline and must succeed on a machine with no network access:
+#
+#   1. release build of every crate and target (warnings are errors);
+#   2. the full test suite;
+#   3. clippy, when the component is installed (optional — toolchains
+#      without it skip the step rather than fail);
+#   4. a smoke run of the micro-benchmarks (XLAC_BENCH_QUICK) so bench
+#      bit-rot is caught without spending minutes measuring.
+#
+# Any failing step exits non-zero immediately (set -e).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Lint gate: promote warnings to errors for CI builds. The crates also
+# carry #![forbid(unsafe_code)] / #![warn(missing_docs)] themselves; this
+# flag makes the remaining rustc warnings fatal without baking -D into
+# the crates (which would break builds on future compilers that add new
+# default-on lints).
+export RUSTFLAGS="${RUSTFLAGS:--D warnings}"
+
+echo "==> cargo build (release, offline, all targets)"
+cargo build --workspace --release --offline --all-targets
+
+echo "==> cargo test (offline)"
+cargo test -q --workspace --offline
+
+if cargo clippy --version >/dev/null 2>&1; then
+    echo "==> cargo clippy (offline)"
+    cargo clippy --workspace --offline --all-targets -- -D warnings
+else
+    echo "==> cargo clippy not installed; skipping lint step"
+fi
+
+echo "==> bench smoke run (XLAC_BENCH_QUICK=1)"
+XLAC_BENCH_QUICK=1 cargo bench -q -p xlac-bench --offline >/dev/null
+
+echo "CI OK"

@@ -5,7 +5,9 @@
 //! twice and require identical results.
 
 use xlac::accel::sad::{SadAccelerator, SadVariant};
-use xlac::adders::{FullAdderKind, GeArAdder, GearErrorModel};
+use xlac::adders::{Adder, FullAdderKind, GeArAdder, GearErrorModel, RippleCarryAdder};
+use xlac::core::rng::{DefaultRng, Rng};
+use xlac::multipliers::{Mul2x2Kind, Multiplier, RecursiveMultiplier, SumMode};
 use xlac::imaging::images::TestImage;
 use xlac::imaging::resilience::{resilience_study, StudyConfig};
 use xlac::video::encoder::{Encoder, EncoderConfig};
@@ -79,6 +81,45 @@ fn masking_analysis_is_seed_stable() {
     let a = build().masking_analysis(200, 5).unwrap();
     let b = build().masking_analysis(200, 5).unwrap();
     assert_eq!(a, b);
+}
+
+/// A small seeded pipeline touching all three layers — an approximate
+/// ripple adder, a recursive approximate multiplier and the SAD
+/// accelerator — returning every intermediate and final output so any
+/// divergence anywhere in the chain flips the comparison.
+fn seeded_pipeline(seed: u64) -> Vec<u64> {
+    let mut rng = DefaultRng::seed_from_u64(seed);
+    let adder = RippleCarryAdder::with_approx_lsbs(12, FullAdderKind::Apx3, 4).unwrap();
+    let mul = RecursiveMultiplier::new(
+        8,
+        Mul2x2Kind::ApxSoA,
+        SumMode::ApproxLsbs { kind: FullAdderKind::Apx4, lsbs: 3 },
+    )
+    .unwrap();
+    let sad = SadAccelerator::new(64, SadVariant::ApxSad3, 4).unwrap();
+
+    let mut out = Vec::new();
+    for _ in 0..64 {
+        let (a, b) = (rng.gen_range(0..1u64 << 12), rng.gen_range(0..1u64 << 12));
+        out.push(adder.add(a, b));
+        out.push(mul.mul(a & 0xFF, b & 0xFF));
+    }
+    let cur: Vec<u64> = (0..64).map(|_| rng.gen_range(0..256u64)).collect();
+    let refb: Vec<u64> = (0..64).map(|_| rng.gen_range(0..256u64)).collect();
+    out.push(sad.sad(&cur, &refb).unwrap());
+    out
+}
+
+#[test]
+fn seeded_pipeline_is_bit_identical_across_runs() {
+    // Regression gate for the vendored RNG substrate: two runs of the
+    // same seeded pipeline must agree on every single output word…
+    assert_eq!(seeded_pipeline(0xDAC_2016), seeded_pipeline(0xDAC_2016));
+    assert_eq!(seeded_pipeline(7), seeded_pipeline(7));
+    // …and distinct seeds must actually change the input stream (a
+    // constant-output RNG would pass the identity check above).
+    assert_ne!(seeded_pipeline(0xDAC_2016), seeded_pipeline(7));
+    assert_ne!(seeded_pipeline(1), seeded_pipeline(2));
 }
 
 #[test]

@@ -1,0 +1,237 @@
+//! Exhaustive golden-model tests against the paper's published tables.
+//!
+//! * Table III — all 8 input combinations of `AccuFA` and `ApxFA1..5`,
+//!   checked cell by cell against an independent transcription of the
+//!   table, plus each cell's `#Error Cases` row (0, 2, 2, 3, 3, 4).
+//! * Fig. 5 — all 16 operand pairs of the 2×2 multiplier designs
+//!   (`AccMul`, `ApxMulSoA`, `ApxMulOur`), their error-case counts
+//!   (0, 1, 3) and maximum error values (0, 2, 1), plus recursive
+//!   composition spot-checks at 4×4 and 8×8.
+//! * Table IV's foundation — the analytical GeAr error model validated
+//!   against seeded Monte-Carlo simulation (≥1e5 trials) for
+//!   representative (R, P) configurations, including the ACA-II and
+//!   ETAII special cases.
+
+use xlac::adders::{FullAdderKind, GeArAdder, GearErrorModel};
+use xlac::multipliers::{Mul2x2Kind, Multiplier, RecursiveMultiplier, SumMode};
+
+/// Independent transcription of Table III, `(sum, cout)` for inputs
+/// `(a, b, cin)` enumerated as `a<<2 | b<<1 | cin` — deliberately spelled
+/// out from the cells' published equations rather than imported from the
+/// library, so a transcription error in either copy fails the test.
+fn table3_golden(kind: FullAdderKind, a: u64, b: u64, cin: u64) -> (u64, u64) {
+    let exact_sum = (a + b + cin) & 1;
+    let exact_cout = u64::from(a + b + cin >= 2);
+    match kind {
+        FullAdderKind::Accurate => (exact_sum, exact_cout),
+        // ApxFA1 (IMPACT 1): cout = b + a·cin, sum = cin·(a XNOR b).
+        FullAdderKind::Apx1 => {
+            let cout = b | (a & cin);
+            let sum = cin & u64::from(a == b);
+            (sum, cout)
+        }
+        // ApxFA2: exact carry, sum = !cout.
+        FullAdderKind::Apx2 => (1 - exact_cout, exact_cout),
+        // ApxFA3: cout = b + a·cin, sum = !cout.
+        FullAdderKind::Apx3 => {
+            let cout = b | (a & cin);
+            (1 - cout, cout)
+        }
+        // ApxFA4 (IMPACT 4): cout = a, sum = cin·!(a·!b).
+        FullAdderKind::Apx4 => {
+            let sum = cin & (1 - (a & (1 - b)));
+            (sum, a)
+        }
+        // ApxFA5: pure wiring, sum = b, cout = a.
+        FullAdderKind::Apx5 => (b, a),
+    }
+}
+
+#[test]
+fn table3_truth_tables_match_paper_exhaustively() {
+    for kind in FullAdderKind::ALL {
+        for x in 0u64..8 {
+            let (a, b, cin) = ((x >> 2) & 1, (x >> 1) & 1, x & 1);
+            let got = kind.eval(a, b, cin);
+            let want = table3_golden(kind, a, b, cin);
+            assert_eq!(
+                got, want,
+                "{kind}: a={a} b={b} cin={cin} — library {got:?} vs Table III {want:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn table3_error_case_counts_match_paper() {
+    // The `#Error Cases` row of Table III, in ALL order.
+    let expected = [0usize, 2, 2, 3, 3, 4];
+    for (kind, want) in FullAdderKind::ALL.into_iter().zip(expected) {
+        // Count independently over the 8 input rows…
+        let counted = (0u64..8)
+            .filter(|&x| {
+                let (a, b, cin) = ((x >> 2) & 1, (x >> 1) & 1, x & 1);
+                kind.eval(a, b, cin) != FullAdderKind::Accurate.eval(a, b, cin)
+            })
+            .count();
+        assert_eq!(counted, want, "{kind}: exhaustive error-case count");
+        // …and require the library's own characterization to agree.
+        assert_eq!(kind.error_cases(), want, "{kind}: error_cases()");
+    }
+}
+
+#[test]
+fn fig5_accurate_mul2x2_is_exact_exhaustively() {
+    for a in 0u64..4 {
+        for b in 0u64..4 {
+            assert_eq!(Mul2x2Kind::Accurate.mul(a, b), a * b);
+        }
+    }
+    assert_eq!(Mul2x2Kind::Accurate.error_cases(), 0);
+    assert_eq!(Mul2x2Kind::Accurate.max_error_value(), 0);
+}
+
+#[test]
+fn fig5_apx_soa_mul2x2_matches_paper_exhaustively() {
+    // Kulkarni's design: the single error case is 3×3 → 7 (exact 9);
+    // every other pair is exact.
+    for a in 0u64..4 {
+        for b in 0u64..4 {
+            let got = Mul2x2Kind::ApxSoA.mul(a, b);
+            if (a, b) == (3, 3) {
+                assert_eq!(got, 7, "3×3 must produce 7");
+            } else {
+                assert_eq!(got, a * b, "{a}×{b} must be exact");
+            }
+        }
+    }
+    assert_eq!(Mul2x2Kind::ApxSoA.error_cases(), 1);
+    assert_eq!(Mul2x2Kind::ApxSoA.max_error_value(), 2);
+}
+
+#[test]
+fn fig5_apx_our_mul2x2_matches_paper_exhaustively() {
+    // The paper's design rewires the (only) MSB case into the LSB:
+    // products with p3=0 lose their p0, so 1×1→0, 1×3 and 3×1→2,
+    // while 3×3 (the sole p3=1 product) stays exact at 9.
+    for a in 0u64..4 {
+        for b in 0u64..4 {
+            let got = Mul2x2Kind::ApxOur.mul(a, b);
+            let want = match (a, b) {
+                (1, 1) => 0,
+                (1, 3) | (3, 1) => 2,
+                _ => a * b,
+            };
+            assert_eq!(got, want, "{a}×{b}");
+            assert!(got.abs_diff(a * b) <= 1, "{a}×{b}: error above paper bound");
+        }
+    }
+    assert_eq!(Mul2x2Kind::ApxOur.error_cases(), 3);
+    assert_eq!(Mul2x2Kind::ApxOur.max_error_value(), 1);
+}
+
+#[test]
+fn recursive_composition_4x4_exhaustive() {
+    let acc = RecursiveMultiplier::new(4, Mul2x2Kind::Accurate, SumMode::Accurate).unwrap();
+    let soa = RecursiveMultiplier::new(4, Mul2x2Kind::ApxSoA, SumMode::Accurate).unwrap();
+    let our = RecursiveMultiplier::new(4, Mul2x2Kind::ApxOur, SumMode::Accurate).unwrap();
+    // Worst cases: each of the four 2×2 sub-products can independently
+    // hit its block's worst error, scaled by the block's weight
+    // (1 + 2·4 + 16 for the three partial-product positions).
+    let soa_bound = 2 * (1 + 4 + 4 + 16); // per-block max error 2
+    let our_bound = 1 + 4 + 4 + 16; // per-block max error 1
+    for a in 0u64..16 {
+        for b in 0u64..16 {
+            assert_eq!(acc.mul(a, b), a * b, "accurate 4×4 at {a}×{b}");
+            let e_soa = soa.mul(a, b);
+            assert!(e_soa <= a * b, "ApxSoA only under-estimates ({a}×{b})");
+            assert!(e_soa.abs_diff(a * b) <= soa_bound, "ApxSoA 4×4 bound at {a}×{b}");
+            assert!(our.mul(a, b).abs_diff(a * b) <= our_bound, "ApxOur 4×4 bound at {a}×{b}");
+        }
+    }
+    // The canonical composed worst case: 15×15 stacks 3×3 in every block.
+    assert!(soa.mul(15, 15) < 225);
+}
+
+#[test]
+fn recursive_composition_8x8_spot_checks() {
+    let acc = RecursiveMultiplier::new(8, Mul2x2Kind::Accurate, SumMode::Accurate).unwrap();
+    let soa = RecursiveMultiplier::new(8, Mul2x2Kind::ApxSoA, SumMode::Accurate).unwrap();
+    // A deterministic operand sweep covering all byte regions.
+    let spots: Vec<u64> = (0..=255u64).step_by(17).chain([1, 3, 85, 170, 255]).collect();
+    for &a in &spots {
+        for &b in &spots {
+            assert_eq!(acc.mul(a, b), a * b, "accurate 8×8 at {a}×{b}");
+            assert!(soa.mul(a, b) <= a * b, "ApxSoA under-estimates at {a}×{b}");
+        }
+    }
+    // Error grows with operand magnitude but stays below the composed
+    // block bound (each 2×2 block errs by ≤2 at its weight).
+    assert!(soa.mul(255, 255) < 255 * 255);
+    assert_eq!(soa.mul(0, 255), 0);
+    assert_eq!(soa.mul(1, 1), 1);
+}
+
+/// One analytic-vs-Monte-Carlo comparison; `trials` ≥ 1e5 keeps the MC
+/// standard error below ~0.0016, so a 0.01 tolerance is ~6 sigma.
+fn assert_model_matches_mc(gear: &GeArAdder, trials: u64, seed: u64) {
+    let model = GearErrorModel::for_adder(gear);
+    let analytic = model.exact();
+    let mc = model.monte_carlo(trials, seed);
+    assert!(
+        (analytic - mc).abs() < 0.01,
+        "GeAr(N={}, R={}, P={}): analytic {analytic:.5} vs MC {mc:.5}",
+        gear.n(),
+        gear.r(),
+        gear.p()
+    );
+    // The inclusion–exclusion evaluation must agree with the exact DP.
+    let ie = model.inclusion_exclusion();
+    assert!(
+        (analytic - ie).abs() < 1e-9,
+        "inclusion-exclusion diverges from exact: {analytic} vs {ie}"
+    );
+}
+
+#[test]
+fn gear_error_model_validated_by_monte_carlo() {
+    // Representative (R, P) sweep at N=16, plus the N=12 odd shapes.
+    for (n, r, p) in [(16, 4, 4), (16, 2, 2), (16, 4, 0), (16, 2, 6), (12, 2, 4), (12, 3, 3)] {
+        let gear = GeArAdder::new(n, r, p).unwrap();
+        assert_model_matches_mc(&gear, 120_000, 0xDAC_2016 + r as u64);
+    }
+}
+
+#[test]
+fn gear_error_model_validated_for_aca_ii_and_etaii() {
+    // ACA-II is GeAr with R = P = l/2.
+    let aca2 = GeArAdder::aca_ii(16, 8).unwrap();
+    assert_eq!((aca2.r(), aca2.p()), (4, 4));
+    assert_model_matches_mc(&aca2, 120_000, 0xACA2);
+
+    // ETAII is GeAr with R = P = block.
+    let etaii = GeArAdder::etaii(16, 2).unwrap();
+    assert_eq!((etaii.r(), etaii.p()), (2, 2));
+    assert_model_matches_mc(&etaii, 120_000, 0xE7A2);
+
+    // ACA-I (R=1, P=l−1) exercises the single-result-bit windows.
+    let aca1 = GeArAdder::aca_i(16, 4).unwrap();
+    assert_eq!((aca1.r(), aca1.p()), (1, 3));
+    assert_model_matches_mc(&aca1, 120_000, 0xACA1);
+}
+
+#[test]
+fn gear_error_model_exhaustive_agrees_on_small_widths() {
+    // On widths where 4^N is enumerable the exhaustive rate is the ground
+    // truth; the analytic model must match it to machine precision.
+    for (n, r, p) in [(8, 2, 2), (8, 4, 4), (6, 2, 0), (9, 3, 3)] {
+        let gear = GeArAdder::new(n, r, p).unwrap();
+        let model = GearErrorModel::for_adder(&gear);
+        let exact = model.exact();
+        let truth = model.exhaustive();
+        assert!(
+            (exact - truth).abs() < 1e-12,
+            "GeAr(N={n}, R={r}, P={p}): exact {exact} vs exhaustive {truth}"
+        );
+    }
+}

@@ -106,8 +106,8 @@ fn cec_claims() {
     let (edc, cec) = CecUnit::area_comparison(&gear, 8);
     assert!(cec < edc);
 
-    use rand::{Rng, SeedableRng};
-    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+    use xlac::core::rng::{DefaultRng, Rng};
+    let mut rng = DefaultRng::seed_from_u64(1);
     let cascade = AdderCascade::new(gear, 5).unwrap();
     let unit = CecUnit::new();
     let (mut raw, mut fixed) = (0u64, 0u64);

@@ -1,285 +1,535 @@
-//! Property-based tests (proptest) on the core invariants of the
-//! approximate-arithmetic library.
+//! Property-based tests on the core invariants of the
+//! approximate-arithmetic library, running on the in-house harness
+//! (`xlac_core::check`) — seeded case generation, env-configurable case
+//! counts (`XLAC_CHECK_CASES`, `XLAC_CHECK_SEED`) and shrinking with a
+//! replayable failure seed (`XLAC_CHECK_REPRO`).
+//!
+//! Constrained inputs (e.g. valid GeAr `(n, r, p)` configurations) are
+//! generated *by construction*; because shrinking explores the raw tuple
+//! space, every constrained property re-validates its input and passes
+//! vacuously on invalid tuples (the `prop_filter` idiom).
 
-use proptest::prelude::*;
 use xlac::adders::{Adder, FullAdderKind, GeArAdder, RippleCarryAdder, Subtractor};
 use xlac::core::bits;
+use xlac::core::check::{check, check_with, Config, DefaultRng, Rng};
 use xlac::logic::qm::{eval_cover, minimize};
 use xlac::logic::synth::{synthesize, verify_against};
 use xlac::logic::TruthTable;
 use xlac::multipliers::{Mul2x2Kind, Multiplier, RecursiveMultiplier, SumMode, WallaceMultiplier};
+use xlac_core::{prop_assert, prop_assert_eq};
 
-/// A strategy for valid GeAr (n, r, p) configurations.
-fn gear_config() -> impl Strategy<Value = (usize, usize, usize)> {
-    (4usize..=20, 1usize..=6, 0usize..=8).prop_filter_map("valid GeAr config", |(n, r, p)| {
-        let l = r + p;
-        if l <= n && (n - l) % r == 0 {
-            Some((n, r, p))
-        } else {
-            None
-        }
-    })
+/// `true` when `(n, r, p)` is a valid GeAr configuration (as enforced by
+/// `GeArAdder::new`) within the tested envelope.
+fn valid_gear(n: usize, r: usize, p: usize) -> bool {
+    let l = r + p;
+    (4..=20).contains(&n) && (1..=6).contains(&r) && p <= 8 && l <= n && (n - l).is_multiple_of(r)
 }
 
-proptest! {
-    /// GeAr never over-estimates: its only failure mode is a missed carry.
-    #[test]
-    fn gear_underestimates_only((n, r, p) in gear_config(), a in any::<u64>(), b in any::<u64>()) {
-        let gear = GeArAdder::new(n, r, p).unwrap();
-        let (a, b) = (bits::truncate(a, n), bits::truncate(b, n));
-        let out = gear.add(a, b);
-        prop_assert!(out.value <= a + b);
-    }
+/// Draws a valid GeAr `(n, r, p)` configuration by construction:
+/// pick the sub-adder shape first, then a compatible width `n ≤ 20`.
+fn gear_config(rng: &mut DefaultRng) -> (usize, usize, usize) {
+    let r = rng.gen_range(1..=6usize);
+    let p = rng.gen_range(0..=8usize);
+    let l = r + p;
+    let extras = (20 - l) / r;
+    let m_min = if l >= 4 { 0 } else { (4 - l).div_ceil(r) };
+    let m = rng.gen_range(m_min..=extras.max(m_min));
+    (l + m * r, r, p)
+}
 
-    /// Full correction always reaches the exact sum, within k−1 passes.
-    #[test]
-    fn gear_correction_is_exact((n, r, p) in gear_config(), a in any::<u64>(), b in any::<u64>()) {
-        let gear = GeArAdder::new(n, r, p).unwrap();
-        let (a, b) = (bits::truncate(a, n), bits::truncate(b, n));
-        let out = gear.add_with_correction(a, b, usize::MAX);
-        prop_assert_eq!(out.value, a + b);
-        prop_assert!(out.correction_iterations < gear.sub_adder_count());
-    }
+#[test]
+fn gear_underestimates_only() {
+    // GeAr never over-estimates: its only failure mode is a missed carry.
+    check(
+        "gear_underestimates_only",
+        |rng| {
+            let (n, r, p) = gear_config(rng);
+            (n, r, p, rng.gen::<u64>(), rng.gen::<u64>())
+        },
+        |&(n, r, p, a, b)| {
+            if !valid_gear(n, r, p) {
+                return Ok(());
+            }
+            let gear = GeArAdder::new(n, r, p).unwrap();
+            let (a, b) = (bits::truncate(a, n), bits::truncate(b, n));
+            let out = gear.add(a, b);
+            prop_assert!(out.value <= a + b, "GeAr({n},{r},{p}) over-estimated {a}+{b}");
+            Ok(())
+        },
+    );
+}
 
-    /// Detection soundness: an undetected addition is exact.
-    #[test]
-    fn gear_silence_implies_exactness((n, r, p) in gear_config(), a in any::<u64>(), b in any::<u64>()) {
-        let gear = GeArAdder::new(n, r, p).unwrap();
-        let (a, b) = (bits::truncate(a, n), bits::truncate(b, n));
-        let out = gear.add(a, b);
-        if out.errors_detected == 0 {
+#[test]
+fn gear_correction_is_exact() {
+    // Full correction always reaches the exact sum, within k−1 passes.
+    check(
+        "gear_correction_is_exact",
+        |rng| {
+            let (n, r, p) = gear_config(rng);
+            (n, r, p, rng.gen::<u64>(), rng.gen::<u64>())
+        },
+        |&(n, r, p, a, b)| {
+            if !valid_gear(n, r, p) {
+                return Ok(());
+            }
+            let gear = GeArAdder::new(n, r, p).unwrap();
+            let (a, b) = (bits::truncate(a, n), bits::truncate(b, n));
+            let out = gear.add_with_correction(a, b, usize::MAX);
             prop_assert_eq!(out.value, a + b);
-        }
-    }
-
-    /// An all-accurate ripple chain equals `+` for every width.
-    #[test]
-    fn accurate_ripple_is_plus(width in 1usize..=32, a in any::<u64>(), b in any::<u64>()) {
-        let rca = RippleCarryAdder::accurate(width);
-        let (a, b) = (bits::truncate(a, width), bits::truncate(b, width));
-        prop_assert_eq!(rca.add(a, b), a + b);
-    }
-
-    /// Approximating k LSBs bounds the adder error below 2^(k+1).
-    #[test]
-    fn ripple_error_is_prefix_bounded(
-        kind in prop::sample::select(FullAdderKind::APPROXIMATE.to_vec()),
-        k in 0usize..=6,
-        a in any::<u64>(),
-        b in any::<u64>(),
-    ) {
-        let rca = RippleCarryAdder::with_approx_lsbs(12, kind, k).unwrap();
-        let (a, b) = (bits::truncate(a, 12), bits::truncate(b, 12));
-        let err = rca.add(a, b).abs_diff(a + b);
-        prop_assert!(err < 1u64 << (k + 1), "{} err {} with {} LSBs", kind, err, k);
-    }
-
-    /// The subtractor over an exact adder is |a − b| with correct sign.
-    #[test]
-    fn exact_subtractor_is_abs_diff(width in 1usize..=16, a in any::<u64>(), b in any::<u64>()) {
-        let sub = Subtractor::new(xlac::adders::AccurateAdder::new(width));
-        let (a, b) = (bits::truncate(a, width), bits::truncate(b, width));
-        let (mag, ge) = sub.sub(a, b);
-        prop_assert_eq!(mag, a.abs_diff(b));
-        prop_assert_eq!(ge, a >= b);
-    }
-
-    /// QM minimization always reproduces the specified function.
-    #[test]
-    fn qm_cover_is_equivalent(n in 1usize..=6, on_set in any::<u64>()) {
-        let limit = 1u64 << n;
-        let minterms: Vec<u64> = (0..limit).filter(|&m| (on_set >> (m % 64)) & 1 == 1).collect();
-        let cover = minimize(n, &minterms);
-        for x in 0..limit {
-            let expect = u64::from(minterms.contains(&x));
-            prop_assert_eq!(eval_cover(&cover, x), expect);
-        }
-    }
-
-    /// Synthesized netlists are functionally equivalent to their tables.
-    #[test]
-    fn synthesis_preserves_function(n in 1usize..=5, outs in 1usize..=3, seed in any::<u64>()) {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
-        let rows: Vec<u64> = (0..(1u64 << n)).map(|_| rng.gen::<u64>() & ((1 << outs) - 1)).collect();
-        let tt = TruthTable::from_rows(n, outs, rows).unwrap();
-        let nl = synthesize("prop", &tt).unwrap();
-        prop_assert_eq!(verify_against(&nl, &tt), 0);
-    }
-
-    /// Both approximate 2×2 multiplier designs respect their published
-    /// worst-case error bound at every operand pair.
-    #[test]
-    fn mul2x2_error_bounds(a in 0u64..4, b in 0u64..4) {
-        prop_assert!(Mul2x2Kind::ApxSoA.mul(a, b).abs_diff(a * b) <= 2);
-        prop_assert!(Mul2x2Kind::ApxOur.mul(a, b).abs_diff(a * b) <= 1);
-    }
-
-    /// Recursive multipliers with accurate blocks and accurate summation
-    /// are exact at every power-of-two width.
-    #[test]
-    fn accurate_recursive_multiplier_is_exact(
-        w in prop::sample::select(vec![2usize, 4, 8, 16]),
-        a in any::<u64>(),
-        b in any::<u64>(),
-    ) {
-        let m = RecursiveMultiplier::new(w, Mul2x2Kind::Accurate, SumMode::Accurate).unwrap();
-        let (a, b) = (bits::truncate(a, w), bits::truncate(b, w));
-        prop_assert_eq!(m.mul(a, b), a * b);
-    }
-
-    /// The exact Wallace tree agrees with `*`.
-    #[test]
-    fn accurate_wallace_is_exact(w in 2usize..=10, a in any::<u64>(), b in any::<u64>()) {
-        let m = WallaceMultiplier::new(w, FullAdderKind::Accurate, 0).unwrap();
-        let (a, b) = (bits::truncate(a, w), bits::truncate(b, w));
-        prop_assert_eq!(m.mul(a, b), a * b);
-    }
-
-    /// SSIM is 1 exactly on identical images and symmetric on distinct
-    /// ones.
-    #[test]
-    fn ssim_identity_and_symmetry(seed in any::<u64>()) {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
-        let a = xlac::core::Grid::from_fn(16, 16, |_, _| rng.gen_range(0.0..255.0));
-        let b = xlac::core::Grid::from_fn(16, 16, |_, _| rng.gen_range(0.0..255.0));
-        let same = xlac::quality::ssim(&a, &a).unwrap();
-        prop_assert!((same - 1.0).abs() < 1e-9);
-        let ab = xlac::quality::ssim(&a, &b).unwrap();
-        let ba = xlac::quality::ssim(&b, &a).unwrap();
-        prop_assert!((ab - ba).abs() < 1e-9);
-        prop_assert!(ab <= 1.0 + 1e-9);
-    }
-
-    /// Bit-field insert/extract round-trips for arbitrary fields.
-    #[test]
-    fn bit_field_roundtrip(value in any::<u64>(), lo in 0usize..60, len in 1usize..=4, bits_in in any::<u64>()) {
-        let w = bits::with_field(value, lo, len, bits_in);
-        prop_assert_eq!(bits::field(w, lo, len), bits::truncate(bits_in, len));
-        // Bits outside the field are untouched.
-        let mask = bits::mask(len) << lo;
-        prop_assert_eq!(w & !mask, value & !mask);
-    }
-
-    /// Two's-complement signed round-trip at every width.
-    #[test]
-    fn signed_roundtrip(width in 1usize..=64, v in any::<u64>()) {
-        let v = bits::truncate(v, width);
-        prop_assert_eq!(bits::from_signed(bits::to_signed(v, width), width), v);
-    }
+            prop_assert!(out.correction_iterations < gear.sub_adder_count());
+            Ok(())
+        },
+    );
 }
 
-proptest! {
-    /// The exact array divider satisfies the Euclidean invariant.
-    #[test]
-    fn divider_euclidean_invariant(n in any::<u64>(), d in 1u64..256) {
-        let div = xlac::adders::ArrayDivider::accurate(8).unwrap();
-        let n = bits::truncate(n, 8);
-        let d = bits::truncate(d, 8).max(1);
-        let (q, r) = div.divide(n, d).unwrap();
-        prop_assert_eq!(q * d + r, n);
-        prop_assert!(r < d);
-    }
-
-    /// LOA errors are confined below the lower-part boundary.
-    #[test]
-    fn loa_error_is_lower_part_bounded(lower in 0usize..=8, a in any::<u64>(), b in any::<u64>()) {
-        let loa = xlac::adders::LoaAdder::new(12, lower).unwrap();
-        let (a, b) = (bits::truncate(a, 12), bits::truncate(b, 12));
-        let err = loa.add(a, b).abs_diff(a + b);
-        prop_assert!(err < 1u64 << (lower + 1), "err {} with {} lower bits", err, lower);
-    }
-
-    /// The truncated adder's error is exactly the difference between the
-    /// forced low bits and the discarded true low sum plus lost carry.
-    #[test]
-    fn truncated_adder_error_bound(t in 0usize..=8, a in any::<u64>(), b in any::<u64>()) {
-        let tra = xlac::adders::TruncatedAdder::new(12, t).unwrap();
-        let (a, b) = (bits::truncate(a, 12), bits::truncate(b, 12));
-        let err = tra.add(a, b).abs_diff(a + b);
-        prop_assert!(err < 1u64 << (t + 1));
-    }
-
-    /// Truncated-multiplier errors never exceed the dropped-column mass.
-    #[test]
-    fn truncated_multiplier_mass_bound(k in 0usize..=8, a in any::<u64>(), b in any::<u64>()) {
-        use xlac::multipliers::TruncatedMultiplier;
-        let m = TruncatedMultiplier::new(8, k, false).unwrap();
-        let (a, b) = (bits::truncate(a, 8), bits::truncate(b, 8));
-        let bound: u64 = (0..k).map(|c| ((c as u64 + 1).min(8)) << c).sum();
-        prop_assert!(m.mul(a, b).abs_diff(a * b) <= bound);
-    }
-
-    /// Netlist optimization preserves the function of synthesized logic.
-    #[test]
-    fn optimizer_preserves_random_functions(n in 2usize..=5, seed in any::<u64>()) {
-        use rand::{Rng, SeedableRng};
-        use xlac::logic::opt::optimize;
-        use xlac::logic::equiv::check_equivalence;
-        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
-        let rows: Vec<u64> = (0..(1u64 << n)).map(|_| rng.gen::<u64>() & 0b11).collect();
-        let tt = TruthTable::from_rows(n, 2, rows).unwrap();
-        let nl = synthesize("p", &tt).unwrap();
-        let opt = optimize(&nl);
-        prop_assert_eq!(check_equivalence(&nl, &opt).unwrap(), None);
-        prop_assert!(opt.gate_count() <= nl.gate_count());
-    }
-
-    /// Elaborated ripple netlists equal their behavioural models for any
-    /// cell mix.
-    #[test]
-    fn elaboration_matches_behaviour(
-        kind in prop::sample::select(FullAdderKind::ALL.to_vec()),
-        lsbs in 0usize..=5,
-        a in any::<u64>(),
-        b in any::<u64>(),
-    ) {
-        use xlac::adders::hw::{pack_operands, ripple_netlist};
-        let rca = RippleCarryAdder::with_approx_lsbs(5, kind, lsbs.min(5)).unwrap();
-        let nl = ripple_netlist(&rca);
-        let (a, b) = (bits::truncate(a, 5), bits::truncate(b, 5));
-        prop_assert_eq!(nl.eval(pack_operands(a, b, 5)), rca.add(a, b));
-    }
-
-    /// BD-rate of a curve against itself is zero, and scaling the rate by
-    /// a constant factor recovers that factor.
-    #[test]
-    fn bd_rate_scaling_identity(factor in 1.01f64..2.0) {
-        use xlac::video::rd::{bd_rate, RdPoint};
-        let base: Vec<RdPoint> = (0..4)
-            .map(|i| RdPoint { bits: 1000.0 * (1 << i) as f64, psnr_db: 30.0 + 3.0 * i as f64 })
-            .collect();
-        let scaled: Vec<RdPoint> =
-            base.iter().map(|p| RdPoint { bits: p.bits * factor, ..*p }).collect();
-        let bd = bd_rate(&base, &scaled).unwrap();
-        prop_assert!((bd - (factor - 1.0) * 100.0).abs() < 0.5);
-        prop_assert!(bd_rate(&base, &base).unwrap().abs() < 1e-9);
-    }
-
-    /// The signed multiplier is odd in each argument (for a core without
-    /// constant compensation — a compensated core is intentionally
-    /// non-zero at zero, breaking oddness there).
-    #[test]
-    fn signed_multiplier_is_odd(a in -127i64..=127, b in -127i64..=127) {
-        use xlac::multipliers::{SignedMultiplier, TruncatedMultiplier};
-        let m = SignedMultiplier::new(TruncatedMultiplier::new(8, 4, false).unwrap());
-        prop_assert_eq!(m.mul_signed(a, b), m.mul_signed(-a, -b));
-        prop_assert_eq!(m.mul_signed(-a, b), -m.mul_signed(a, b));
-    }
+#[test]
+fn gear_silence_implies_exactness() {
+    // Detection soundness: an undetected addition is exact.
+    check(
+        "gear_silence_implies_exactness",
+        |rng| {
+            let (n, r, p) = gear_config(rng);
+            (n, r, p, rng.gen::<u64>(), rng.gen::<u64>())
+        },
+        |&(n, r, p, a, b)| {
+            if !valid_gear(n, r, p) {
+                return Ok(());
+            }
+            let gear = GeArAdder::new(n, r, p).unwrap();
+            let (a, b) = (bits::truncate(a, n), bits::truncate(b, n));
+            let out = gear.add(a, b);
+            if out.errors_detected == 0 {
+                prop_assert_eq!(out.value, a + b);
+            }
+            Ok(())
+        },
+    );
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+#[test]
+fn accurate_ripple_is_plus() {
+    // An all-accurate ripple chain equals `+` for every width.
+    check(
+        "accurate_ripple_is_plus",
+        |rng| (rng.gen_range(1..=32usize), rng.gen::<u64>(), rng.gen::<u64>()),
+        |&(width, a, b)| {
+            if !(1..=32).contains(&width) {
+                return Ok(());
+            }
+            let rca = RippleCarryAdder::accurate(width);
+            let (a, b) = (bits::truncate(a, width), bits::truncate(b, width));
+            prop_assert_eq!(rca.add(a, b), a + b);
+            Ok(())
+        },
+    );
+}
 
-    /// The analytical GeAr error model matches Monte-Carlo simulation for
-    /// random configurations (heavier test: fewer cases).
-    #[test]
-    fn gear_error_model_matches_simulation((n, r, p) in gear_config()) {
-        let gear = GeArAdder::new(n, r, p).unwrap();
-        let model = xlac::adders::GearErrorModel::for_adder(&gear);
-        let analytic = model.exact();
-        let mc = model.monte_carlo(60_000, 0xABCD);
-        prop_assert!((analytic - mc).abs() < 0.02, "N={} R={} P={}: {} vs {}", n, r, p, analytic, mc);
-    }
+#[test]
+fn ripple_error_is_prefix_bounded() {
+    // Approximating k LSBs bounds the adder error below 2^(k+1).
+    check(
+        "ripple_error_is_prefix_bounded",
+        |rng| {
+            let kind_idx = rng.gen_range(0..FullAdderKind::APPROXIMATE.len());
+            (kind_idx, rng.gen_range(0..=6usize), rng.gen::<u64>(), rng.gen::<u64>())
+        },
+        |&(kind_idx, k, a, b)| {
+            if kind_idx >= FullAdderKind::APPROXIMATE.len() || k > 6 {
+                return Ok(());
+            }
+            let kind = FullAdderKind::APPROXIMATE[kind_idx];
+            let rca = RippleCarryAdder::with_approx_lsbs(12, kind, k).unwrap();
+            let (a, b) = (bits::truncate(a, 12), bits::truncate(b, 12));
+            let err = rca.add(a, b).abs_diff(a + b);
+            prop_assert!(err < 1u64 << (k + 1), "{} err {} with {} LSBs", kind, err, k);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn exact_subtractor_is_abs_diff() {
+    // The subtractor over an exact adder is |a − b| with correct sign.
+    check(
+        "exact_subtractor_is_abs_diff",
+        |rng| (rng.gen_range(1..=16usize), rng.gen::<u64>(), rng.gen::<u64>()),
+        |&(width, a, b)| {
+            if !(1..=16).contains(&width) {
+                return Ok(());
+            }
+            let sub = Subtractor::new(xlac::adders::AccurateAdder::new(width));
+            let (a, b) = (bits::truncate(a, width), bits::truncate(b, width));
+            let (mag, ge) = sub.sub(a, b);
+            prop_assert_eq!(mag, a.abs_diff(b));
+            prop_assert_eq!(ge, a >= b);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn qm_cover_is_equivalent() {
+    // QM minimization always reproduces the specified function.
+    check(
+        "qm_cover_is_equivalent",
+        |rng| (rng.gen_range(1..=6usize), rng.gen::<u64>()),
+        |&(n, on_set)| {
+            if !(1..=6).contains(&n) {
+                return Ok(());
+            }
+            let limit = 1u64 << n;
+            let minterms: Vec<u64> =
+                (0..limit).filter(|&m| (on_set >> (m % 64)) & 1 == 1).collect();
+            let cover = minimize(n, &minterms);
+            for x in 0..limit {
+                let expect = u64::from(minterms.contains(&x));
+                prop_assert_eq!(eval_cover(&cover, x), expect, "minterm {} of n={}", x, n);
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn synthesis_preserves_function() {
+    // Synthesized netlists are functionally equivalent to their tables.
+    check(
+        "synthesis_preserves_function",
+        |rng| (rng.gen_range(1..=5usize), rng.gen_range(1..=3usize), rng.gen::<u64>()),
+        |&(n, outs, seed)| {
+            if !(1..=5).contains(&n) || !(1..=3).contains(&outs) {
+                return Ok(());
+            }
+            let mut rng = DefaultRng::seed_from_u64(seed);
+            let rows: Vec<u64> =
+                (0..(1u64 << n)).map(|_| rng.gen::<u64>() & ((1 << outs) - 1)).collect();
+            let tt = TruthTable::from_rows(n, outs, rows).unwrap();
+            let nl = synthesize("prop", &tt).unwrap();
+            prop_assert_eq!(verify_against(&nl, &tt), 0);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn mul2x2_error_bounds() {
+    // Both approximate 2×2 multiplier designs respect their published
+    // worst-case error bound at every operand pair.
+    check(
+        "mul2x2_error_bounds",
+        |rng| (rng.gen_range(0..4u64), rng.gen_range(0..4u64)),
+        |&(a, b)| {
+            if a > 3 || b > 3 {
+                return Ok(());
+            }
+            prop_assert!(Mul2x2Kind::ApxSoA.mul(a, b).abs_diff(a * b) <= 2);
+            prop_assert!(Mul2x2Kind::ApxOur.mul(a, b).abs_diff(a * b) <= 1);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn accurate_recursive_multiplier_is_exact() {
+    // Recursive multipliers with accurate blocks and accurate summation
+    // are exact at every power-of-two width.
+    check(
+        "accurate_recursive_multiplier_is_exact",
+        |rng| {
+            let w = [2usize, 4, 8, 16][rng.gen_range(0..4usize)];
+            (w, rng.gen::<u64>(), rng.gen::<u64>())
+        },
+        |&(w, a, b)| {
+            if ![2, 4, 8, 16].contains(&w) {
+                return Ok(());
+            }
+            let m = RecursiveMultiplier::new(w, Mul2x2Kind::Accurate, SumMode::Accurate).unwrap();
+            let (a, b) = (bits::truncate(a, w), bits::truncate(b, w));
+            prop_assert_eq!(m.mul(a, b), a * b);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn accurate_wallace_is_exact() {
+    // The exact Wallace tree agrees with `*`.
+    check(
+        "accurate_wallace_is_exact",
+        |rng| (rng.gen_range(2..=10usize), rng.gen::<u64>(), rng.gen::<u64>()),
+        |&(w, a, b)| {
+            if !(2..=10).contains(&w) {
+                return Ok(());
+            }
+            let m = WallaceMultiplier::new(w, FullAdderKind::Accurate, 0).unwrap();
+            let (a, b) = (bits::truncate(a, w), bits::truncate(b, w));
+            prop_assert_eq!(m.mul(a, b), a * b);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn ssim_identity_and_symmetry() {
+    // SSIM is 1 exactly on identical images and symmetric on distinct
+    // ones.
+    check(
+        "ssim_identity_and_symmetry",
+        |rng| rng.gen::<u64>(),
+        |&seed| {
+            let mut rng = DefaultRng::seed_from_u64(seed);
+            let a = xlac::core::Grid::from_fn(16, 16, |_, _| rng.gen_range(0.0..255.0));
+            let b = xlac::core::Grid::from_fn(16, 16, |_, _| rng.gen_range(0.0..255.0));
+            let same = xlac::quality::ssim(&a, &a).unwrap();
+            prop_assert!((same - 1.0).abs() < 1e-9);
+            let ab = xlac::quality::ssim(&a, &b).unwrap();
+            let ba = xlac::quality::ssim(&b, &a).unwrap();
+            prop_assert!((ab - ba).abs() < 1e-9);
+            prop_assert!(ab <= 1.0 + 1e-9);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn bit_field_roundtrip() {
+    // Bit-field insert/extract round-trips for arbitrary fields.
+    check(
+        "bit_field_roundtrip",
+        |rng| {
+            (rng.gen::<u64>(), rng.gen_range(0..60usize), rng.gen_range(1..=4usize), rng.gen::<u64>())
+        },
+        |&(value, lo, len, bits_in)| {
+            if lo >= 60 || !(1..=4).contains(&len) {
+                return Ok(());
+            }
+            let w = bits::with_field(value, lo, len, bits_in);
+            prop_assert_eq!(bits::field(w, lo, len), bits::truncate(bits_in, len));
+            // Bits outside the field are untouched.
+            let mask = bits::mask(len) << lo;
+            prop_assert_eq!(w & !mask, value & !mask);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn signed_roundtrip() {
+    // Two's-complement signed round-trip at every width.
+    check(
+        "signed_roundtrip",
+        |rng| (rng.gen_range(1..=64usize), rng.gen::<u64>()),
+        |&(width, v)| {
+            if !(1..=64).contains(&width) {
+                return Ok(());
+            }
+            let v = bits::truncate(v, width);
+            prop_assert_eq!(bits::from_signed(bits::to_signed(v, width), width), v);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn divider_euclidean_invariant() {
+    // The exact array divider satisfies the Euclidean invariant.
+    check(
+        "divider_euclidean_invariant",
+        |rng| (rng.gen::<u64>(), rng.gen_range(1..256u64)),
+        |&(n, d)| {
+            let div = xlac::adders::ArrayDivider::accurate(8).unwrap();
+            let n = bits::truncate(n, 8);
+            let d = bits::truncate(d, 8).max(1);
+            let (q, r) = div.divide(n, d).unwrap();
+            prop_assert_eq!(q * d + r, n);
+            prop_assert!(r < d);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn loa_error_is_lower_part_bounded() {
+    // LOA errors are confined below the lower-part boundary.
+    check(
+        "loa_error_is_lower_part_bounded",
+        |rng| (rng.gen_range(0..=8usize), rng.gen::<u64>(), rng.gen::<u64>()),
+        |&(lower, a, b)| {
+            if lower > 8 {
+                return Ok(());
+            }
+            let loa = xlac::adders::LoaAdder::new(12, lower).unwrap();
+            let (a, b) = (bits::truncate(a, 12), bits::truncate(b, 12));
+            let err = loa.add(a, b).abs_diff(a + b);
+            prop_assert!(err < 1u64 << (lower + 1), "err {} with {} lower bits", err, lower);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn truncated_adder_error_bound() {
+    // The truncated adder's error is exactly the difference between the
+    // forced low bits and the discarded true low sum plus lost carry.
+    check(
+        "truncated_adder_error_bound",
+        |rng| (rng.gen_range(0..=8usize), rng.gen::<u64>(), rng.gen::<u64>()),
+        |&(t, a, b)| {
+            if t > 8 {
+                return Ok(());
+            }
+            let tra = xlac::adders::TruncatedAdder::new(12, t).unwrap();
+            let (a, b) = (bits::truncate(a, 12), bits::truncate(b, 12));
+            let err = tra.add(a, b).abs_diff(a + b);
+            prop_assert!(err < 1u64 << (t + 1));
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn truncated_multiplier_mass_bound() {
+    // Truncated-multiplier errors never exceed the dropped-column mass.
+    check(
+        "truncated_multiplier_mass_bound",
+        |rng| (rng.gen_range(0..=8usize), rng.gen::<u64>(), rng.gen::<u64>()),
+        |&(k, a, b)| {
+            if k > 8 {
+                return Ok(());
+            }
+            use xlac::multipliers::TruncatedMultiplier;
+            let m = TruncatedMultiplier::new(8, k, false).unwrap();
+            let (a, b) = (bits::truncate(a, 8), bits::truncate(b, 8));
+            let bound: u64 = (0..k).map(|c| ((c as u64 + 1).min(8)) << c).sum();
+            prop_assert!(m.mul(a, b).abs_diff(a * b) <= bound);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn optimizer_preserves_random_functions() {
+    // Netlist optimization preserves the function of synthesized logic.
+    check(
+        "optimizer_preserves_random_functions",
+        |rng| (rng.gen_range(2..=5usize), rng.gen::<u64>()),
+        |&(n, seed)| {
+            if !(2..=5).contains(&n) {
+                return Ok(());
+            }
+            use xlac::logic::equiv::check_equivalence;
+            use xlac::logic::opt::optimize;
+            let mut rng = DefaultRng::seed_from_u64(seed);
+            let rows: Vec<u64> = (0..(1u64 << n)).map(|_| rng.gen::<u64>() & 0b11).collect();
+            let tt = TruthTable::from_rows(n, 2, rows).unwrap();
+            let nl = synthesize("p", &tt).unwrap();
+            let opt = optimize(&nl);
+            prop_assert_eq!(check_equivalence(&nl, &opt).unwrap(), None);
+            prop_assert!(opt.gate_count() <= nl.gate_count());
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn elaboration_matches_behaviour() {
+    // Elaborated ripple netlists equal their behavioural models for any
+    // cell mix.
+    check(
+        "elaboration_matches_behaviour",
+        |rng| {
+            let kind_idx = rng.gen_range(0..FullAdderKind::ALL.len());
+            (kind_idx, rng.gen_range(0..=5usize), rng.gen::<u64>(), rng.gen::<u64>())
+        },
+        |&(kind_idx, lsbs, a, b)| {
+            if kind_idx >= FullAdderKind::ALL.len() {
+                return Ok(());
+            }
+            use xlac::adders::hw::{pack_operands, ripple_netlist};
+            let kind = FullAdderKind::ALL[kind_idx];
+            let rca = RippleCarryAdder::with_approx_lsbs(5, kind, lsbs.min(5)).unwrap();
+            let nl = ripple_netlist(&rca);
+            let (a, b) = (bits::truncate(a, 5), bits::truncate(b, 5));
+            prop_assert_eq!(nl.eval(pack_operands(a, b, 5)), rca.add(a, b));
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn bd_rate_scaling_identity() {
+    // BD-rate of a curve against itself is zero, and scaling the rate by
+    // a constant factor recovers that factor.
+    check(
+        "bd_rate_scaling_identity",
+        |rng| rng.gen_range(1.01f64..2.0),
+        |&factor| {
+            if !(1.01..2.0).contains(&factor) {
+                return Ok(());
+            }
+            use xlac::video::rd::{bd_rate, RdPoint};
+            let base: Vec<RdPoint> = (0..4)
+                .map(|i| RdPoint { bits: 1000.0 * (1 << i) as f64, psnr_db: 30.0 + 3.0 * i as f64 })
+                .collect();
+            let scaled: Vec<RdPoint> =
+                base.iter().map(|p| RdPoint { bits: p.bits * factor, ..*p }).collect();
+            let bd = bd_rate(&base, &scaled).unwrap();
+            prop_assert!((bd - (factor - 1.0) * 100.0).abs() < 0.5);
+            prop_assert!(bd_rate(&base, &base).unwrap().abs() < 1e-9);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn signed_multiplier_is_odd() {
+    // The signed multiplier is odd in each argument (for a core without
+    // constant compensation — a compensated core is intentionally
+    // non-zero at zero, breaking oddness there).
+    check(
+        "signed_multiplier_is_odd",
+        |rng| (rng.gen_range(-127..=127i64), rng.gen_range(-127..=127i64)),
+        |&(a, b)| {
+            if !(-127..=127).contains(&a) || !(-127..=127).contains(&b) {
+                return Ok(());
+            }
+            use xlac::multipliers::{SignedMultiplier, TruncatedMultiplier};
+            let m = SignedMultiplier::new(TruncatedMultiplier::new(8, 4, false).unwrap());
+            prop_assert_eq!(m.mul_signed(a, b), m.mul_signed(-a, -b));
+            prop_assert_eq!(m.mul_signed(-a, b), -m.mul_signed(a, b));
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn gear_error_model_matches_simulation() {
+    // The analytical GeAr error model matches Monte-Carlo simulation for
+    // random configurations (heavier test: fewer cases).
+    let config = Config::from_env();
+    let config = config.with_cases(config.cases.min(64));
+    check_with(
+        "gear_error_model_matches_simulation",
+        &config,
+        gear_config,
+        |&(n, r, p)| {
+            if !valid_gear(n, r, p) {
+                return Ok(());
+            }
+            let gear = GeArAdder::new(n, r, p).unwrap();
+            let model = xlac::adders::GearErrorModel::for_adder(&gear);
+            let analytic = model.exact();
+            let mc = model.monte_carlo(60_000, 0xABCD);
+            prop_assert!(
+                (analytic - mc).abs() < 0.02,
+                "N={} R={} P={}: {} vs {}",
+                n,
+                r,
+                p,
+                analytic,
+                mc
+            );
+            Ok(())
+        },
+    );
 }
