@@ -125,6 +125,30 @@ impl FirAccelerator {
         self.mode
     }
 
+    /// The signed tap coefficients.
+    #[must_use]
+    pub fn coefficients(&self) -> &[i64] {
+        &self.coefficients
+    }
+
+    /// The shared tap multiplier (for static analysis of the datapath).
+    #[must_use]
+    pub fn multiplier(&self) -> &RecursiveMultiplier {
+        &self.multiplier
+    }
+
+    /// The accumulation-tree adder (for static analysis of the datapath).
+    #[must_use]
+    pub fn accumulator(&self) -> &RippleCarryAdder {
+        &self.accumulator
+    }
+
+    /// Accumulator width in bits (the rails truncate to this).
+    #[must_use]
+    pub fn accumulator_bits() -> usize {
+        Self::ACC_BITS
+    }
+
     /// Unsigned accumulation of one rail's tap magnitudes through the
     /// approximate adder tree.
     fn accumulate(&self, mut level: Vec<u64>) -> u64 {

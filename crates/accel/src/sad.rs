@@ -169,6 +169,20 @@ impl SadAccelerator {
         self.approx_lsbs
     }
 
+    /// The shared per-lane absolute-difference subtractor (for static
+    /// analysis of the datapath).
+    #[must_use]
+    pub fn subtractor(&self) -> &Subtractor<RippleCarryAdder> {
+        &self.subtractor
+    }
+
+    /// The adder-tree levels, leaf level first (for static analysis of
+    /// the datapath).
+    #[must_use]
+    pub fn tree_adders(&self) -> &[RippleCarryAdder] {
+        &self.tree_adders
+    }
+
     /// Computes the (possibly approximate) SAD of two pixel blocks given as
     /// flat slices of 8-bit samples.
     ///

@@ -310,6 +310,21 @@ impl GeArAdder {
     pub fn lut_area(&self) -> usize {
         self.sub_adder_count() * self.l()
     }
+
+    /// The exact static worst-case error: `Σ_{s=1}^{k−1} 2^{s·R+P}`.
+    ///
+    /// Writing sub-adder `s`'s window sum as `W_s` and the true carry into
+    /// bit `s·R` as `c_s`, the result error telescopes to
+    /// `Σ_s 2^{s·R+P}·(1[Z_s] − 1[wrap_{s−1}])` where `Z_s` is the missed
+    /// carry event and a wrap of window `s−1`'s result field forces
+    /// `Z_s = 1` — so every net term is `0` or `+2^{s·R+P}`. The sum over
+    /// all sections is therefore a sound (and attained) worst case, and
+    /// the approximate sum never exceeds the exact one. The full argument
+    /// is spelled out in DESIGN.md's static-analysis section.
+    #[must_use]
+    pub fn worst_case_error(&self) -> u64 {
+        (1..self.sub_adder_count()).map(|s| 1u64 << (s * self.r + self.p)).sum()
+    }
 }
 
 impl Adder for GeArAdder {
@@ -532,5 +547,43 @@ mod tests {
                 assert!(out.value <= ex, "approximate never exceeds exact");
             }
         }
+    }
+
+    #[test]
+    fn worst_case_error_is_exhaustively_sound() {
+        // For every valid 8-bit configuration the static worst case
+        // upper-bounds the exhaustive maximum. With disjoint sub-adders
+        // (P = 0) no wrap cancellation is possible and the bound is
+        // attained exactly.
+        for r in 1..8usize {
+            for p in 0..8usize {
+                let l = r + p;
+                if l >= 8 || !(8 - l).is_multiple_of(r) {
+                    continue;
+                }
+                let g = GeArAdder::new(8, r, p).unwrap();
+                let wce = g.worst_case_error();
+                let mut observed = 0u64;
+                for a in 0u64..256 {
+                    for b in 0u64..256 {
+                        observed = observed.max(g.add(a, b).value.abs_diff(a + b));
+                    }
+                }
+                assert!(observed <= wce, "R{r}P{p}: observed {observed} > bound {wce}");
+                if p == 0 {
+                    assert_eq!(observed, wce, "R{r}P0: disjoint bound should be attained");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn worst_case_error_formula() {
+        // N=12, R=4, P=4 → two sub-adders, one boundary: 2^(4+4) = 256.
+        assert_eq!(GeArAdder::new(12, 4, 4).unwrap().worst_case_error(), 256);
+        // Single sub-adder (L = N) is exact.
+        assert_eq!(GeArAdder::new(8, 4, 4).unwrap().worst_case_error(), 0);
+        // N=8, R=2, P=2: sub-adders at s = 1, 2: 2^4 + 2^6.
+        assert_eq!(GeArAdder::new(8, 2, 2).unwrap().worst_case_error(), 16 + 64);
     }
 }

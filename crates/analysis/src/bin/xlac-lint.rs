@@ -1,0 +1,184 @@
+//! `xlac-lint` — the CI gate for the static analysis layer.
+//!
+//! Two passes:
+//!
+//! * **Lint**: the nine-rule structural catalog over every built-in
+//!   netlist (Table III full adders, Fig.5 2×2 multiplier blocks, the
+//!   configurable blocks) and every `.v` file in the HDL directory.
+//! * **Bounds**: Monte-Carlo / exhaustive validation that every static
+//!   error bound covers the observed errors of its component.
+//!
+//! Exits non-zero on any error-severity diagnostic or unsound bound.
+//!
+//! ```text
+//! xlac-lint [--json] [--hdl-dir DIR] [--samples N] [--lint-only]
+//! ```
+
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use xlac_adders::FullAdderKind;
+use xlac_analysis::lint::{lint_netlist, lint_raw, reports_to_json, LintReport, Severity};
+use xlac_analysis::parse::{parse_verilog, RawNetlist};
+use xlac_analysis::validate::run_all_checks;
+use xlac_multipliers::{ConfigurableMul2x2, Mul2x2Kind};
+
+struct Options {
+    json: bool,
+    hdl_dir: PathBuf,
+    samples: u64,
+    lint_only: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        json: false,
+        hdl_dir: PathBuf::from("hdl"),
+        samples: 100_000,
+        lint_only: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => opts.json = true,
+            "--lint-only" => opts.lint_only = true,
+            "--hdl-dir" => {
+                opts.hdl_dir =
+                    PathBuf::from(args.next().ok_or("--hdl-dir needs a directory")?);
+            }
+            "--samples" => {
+                opts.samples = args
+                    .next()
+                    .ok_or("--samples needs a count")?
+                    .parse()
+                    .map_err(|e| format!("bad --samples: {e}"))?;
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn builtin_reports() -> Vec<LintReport> {
+    let mut reports = Vec::new();
+    for kind in FullAdderKind::ALL {
+        reports.push(lint_netlist(&kind.structural_netlist()));
+        reports.push(lint_netlist(&kind.synthesized_netlist()));
+    }
+    for kind in Mul2x2Kind::ALL {
+        reports.push(lint_netlist(&kind.netlist()));
+    }
+    for kind in [Mul2x2Kind::ApxSoA, Mul2x2Kind::ApxOur] {
+        let cfg = ConfigurableMul2x2::new(kind);
+        reports.push(lint_netlist(&cfg.netlist()));
+    }
+    reports
+}
+
+fn hdl_reports(dir: &PathBuf) -> Result<Vec<LintReport>, String> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("cannot read {}: {e}", dir.display()))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "v"))
+        .collect();
+    files.sort();
+    let mut reports = Vec::new();
+    for path in files {
+        let source = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let (module, errors) = parse_verilog(&source);
+        let fallback = RawNetlist {
+            name: path.file_stem().map_or_else(String::new, |s| s.to_string_lossy().into_owned()),
+            ..RawNetlist::default()
+        };
+        reports.push(lint_raw(module.as_ref().unwrap_or(&fallback), &errors));
+    }
+    Ok(reports)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("xlac-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut reports = builtin_reports();
+    match hdl_reports(&opts.hdl_dir) {
+        Ok(mut hdl) => reports.append(&mut hdl),
+        Err(e) => {
+            eprintln!("xlac-lint: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    let errors: usize = reports
+        .iter()
+        .flat_map(|r| &r.diagnostics)
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    let warnings: usize =
+        reports.iter().map(|r| r.diagnostics.len()).sum::<usize>() - errors;
+
+    let mut unsound = Vec::new();
+    let mut checked = 0usize;
+    if !opts.lint_only {
+        match run_all_checks(opts.samples) {
+            Ok(checks) => {
+                checked = checks.len();
+                unsound.extend(checks.into_iter().filter(|c| !c.is_sound()));
+            }
+            Err(e) => {
+                eprintln!("xlac-lint: bound validation failed to build: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    // Buffer the report and tolerate a closed pipe (`xlac-lint | head`)
+    // instead of panicking on the write.
+    let mut out = String::new();
+    if opts.json {
+        out.push_str(&reports_to_json(&reports));
+        out.push('\n');
+    } else {
+        for report in &reports {
+            for d in &report.diagnostics {
+                out.push_str(&format!(
+                    "{}: {} [{}] {}\n",
+                    match d.severity {
+                        Severity::Error => "error",
+                        Severity::Warning => "warning",
+                    },
+                    d.location,
+                    d.rule_id,
+                    d.message
+                ));
+            }
+        }
+        out.push_str(&format!(
+            "xlac-lint: {} module(s), {errors} error(s), {warnings} warning(s)\n",
+            reports.len()
+        ));
+        if !opts.lint_only {
+            out.push_str(&format!(
+                "xlac-lint: {checked} bound check(s), {} unsound\n",
+                unsound.len()
+            ));
+            for c in &unsound {
+                eprintln!(
+                    "error: unsound bound for {}: static (over {}, under {}) < observed (over {}, under {})",
+                    c.name, c.bound.over, c.bound.under, c.observed_over, c.observed_under
+                );
+            }
+        }
+    }
+    let _ = std::io::stdout().write_all(out.as_bytes());
+
+    if errors > 0 || !unsound.is_empty() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,156 @@
+//! The static error-bound domain.
+//!
+//! An [`ErrorBound`] is a sound over-approximation of how far an
+//! approximate datapath's output can stray from the exact value:
+//!
+//! * `over` / `under` are **distribution-free**: for every input vector,
+//!   `approx − exact ≤ over` and `exact − approx ≤ under`. Their maximum
+//!   is the worst-case error ([`ErrorBound::wce`]).
+//! * `mean_abs` and `error_rate_bound` are sound under **uniformly random
+//!   primary inputs**. Where a component sits on internal, non-uniform
+//!   signals, the propagation rules fall back to distribution-free
+//!   estimates (`rate ≤ 1`, `E|e| ≤ wce`), so the fields stay upper
+//!   bounds — they just lose tightness. DESIGN.md §9 states the argument.
+//!
+//! Magnitudes use `u128` so that `2·width`-bit products with an extra
+//! wrap term (`2^{2w}`) never overflow the domain itself.
+
+/// A sound static bound on the arithmetic error of one component or
+/// datapath output.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorBound {
+    /// Maximum over-approximation: `approx − exact ≤ over` for every
+    /// input vector.
+    pub over: u128,
+    /// Maximum under-approximation: `exact − approx ≤ under` for every
+    /// input vector.
+    pub under: u128,
+    /// Upper bound on `E[|approx − exact|]` under uniform primary inputs.
+    pub mean_abs: f64,
+    /// Upper bound on `P[approx ≠ exact]` under uniform primary inputs.
+    pub error_rate_bound: f64,
+}
+
+impl ErrorBound {
+    /// The bound of an exact component: no error, ever.
+    pub const EXACT: ErrorBound =
+        ErrorBound { over: 0, under: 0, mean_abs: 0.0, error_rate_bound: 0.0 };
+
+    /// Worst-case error magnitude in either direction.
+    #[must_use]
+    pub fn wce(&self) -> u128 {
+        self.over.max(self.under)
+    }
+
+    /// `true` when the bound admits no error at all.
+    #[must_use]
+    pub fn is_exact(&self) -> bool {
+        self.over == 0 && self.under == 0
+    }
+
+    /// The bound of a value scaled by `2^shift` (a digit-weight shift):
+    /// magnitudes and mean scale, rate is unchanged.
+    #[must_use]
+    pub fn shifted(&self, shift: usize) -> ErrorBound {
+        ErrorBound {
+            over: self.over << shift,
+            under: self.under << shift,
+            mean_abs: self.mean_abs * (shift as f64).exp2(),
+            error_rate_bound: self.error_rate_bound,
+        }
+    }
+
+    /// The bound of a sum of two independent error sources feeding one
+    /// value: magnitudes and means add (triangle inequality), rates
+    /// union-bound.
+    #[must_use]
+    pub fn plus(&self, other: &ErrorBound) -> ErrorBound {
+        ErrorBound {
+            over: self.over + other.over,
+            under: self.under + other.under,
+            mean_abs: self.mean_abs + other.mean_abs,
+            error_rate_bound: (self.error_rate_bound + other.error_rate_bound).min(1.0),
+        }
+    }
+
+    /// The bound of `count` replicated instances of this error source
+    /// accumulating into one value.
+    #[must_use]
+    pub fn replicated(&self, count: usize) -> ErrorBound {
+        ErrorBound {
+            over: self.over * count as u128,
+            under: self.under * count as u128,
+            mean_abs: self.mean_abs * count as f64,
+            error_rate_bound: (self.error_rate_bound * count as f64).min(1.0),
+        }
+    }
+
+    /// The bound seen from the *subtrahend* side: a rail that enters the
+    /// final result negated swaps the over/under directions.
+    #[must_use]
+    pub fn negated(&self) -> ErrorBound {
+        ErrorBound { over: self.under, under: self.over, ..*self }
+    }
+
+    /// Widens the distribution-sensitive fields to their distribution-free
+    /// fallbacks (`rate = 1` when any error is possible, `E|e| = wce`),
+    /// keeping the magnitudes. Used when a component sits on internal,
+    /// non-uniform signals.
+    #[must_use]
+    pub fn distribution_free(&self) -> ErrorBound {
+        ErrorBound {
+            mean_abs: self.wce() as f64,
+            error_rate_bound: if self.is_exact() { 0.0 } else { 1.0 },
+            ..*self
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_is_exact() {
+        assert!(ErrorBound::EXACT.is_exact());
+        assert_eq!(ErrorBound::EXACT.wce(), 0);
+    }
+
+    #[test]
+    fn shift_scales_magnitudes_not_rate() {
+        let b = ErrorBound { over: 3, under: 1, mean_abs: 0.5, error_rate_bound: 0.25 };
+        let s = b.shifted(4);
+        assert_eq!(s.over, 48);
+        assert_eq!(s.under, 16);
+        assert!((s.mean_abs - 8.0).abs() < 1e-12);
+        assert_eq!(s.error_rate_bound, 0.25);
+    }
+
+    #[test]
+    fn plus_adds_magnitudes_and_clamps_rate() {
+        let b = ErrorBound { over: 3, under: 1, mean_abs: 0.5, error_rate_bound: 0.7 };
+        let c = b.plus(&b);
+        assert_eq!(c.over, 6);
+        assert_eq!(c.under, 2);
+        assert_eq!(c.error_rate_bound, 1.0);
+    }
+
+    #[test]
+    fn replication_and_negation() {
+        let b = ErrorBound { over: 3, under: 1, mean_abs: 0.5, error_rate_bound: 0.1 };
+        let r = b.replicated(4);
+        assert_eq!((r.over, r.under), (12, 4));
+        assert!((r.error_rate_bound - 0.4).abs() < 1e-12);
+        let n = b.negated();
+        assert_eq!((n.over, n.under), (1, 3));
+    }
+
+    #[test]
+    fn distribution_free_widening() {
+        let b = ErrorBound { over: 3, under: 7, mean_abs: 0.5, error_rate_bound: 0.1 };
+        let d = b.distribution_free();
+        assert_eq!(d.mean_abs, 7.0);
+        assert_eq!(d.error_rate_bound, 1.0);
+        assert_eq!(ErrorBound::EXACT.distribution_free(), ErrorBound::EXACT);
+    }
+}

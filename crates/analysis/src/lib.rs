@@ -1,0 +1,44 @@
+//! # xlac-analysis — static error-bound propagation and netlist lint
+//!
+//! The DAC'16 cross-layer flow needs to answer two questions *before*
+//! simulating anything:
+//!
+//! 1. **How wrong can this datapath be?** [`bound::ErrorBound`] is an
+//!    abstract error domain seeded from the exhaustive truth tables of the
+//!    paper's elementary cells (Table III full adders, Fig.5 2×2
+//!    multiplier blocks) and propagated compositionally through GeAr
+//!    configurations, recursive/Wallace/truncated multiplier trees and
+//!    the SAD/FIR accelerator datapaths — see [`components`]. The static
+//!    worst case is a *sound upper bound*: [`validate`] checks it against
+//!    exhaustive or Monte-Carlo observation for every shipped
+//!    configuration.
+//! 2. **Is this netlist structurally well-formed?** [`lint`] runs a
+//!    nine-rule catalog (floating nets, multiple drivers, combinational
+//!    cycles, arity mismatches, dead gates, constant cones, unused
+//!    inputs, undriven outputs, parse errors) over both built
+//!    [`xlac_logic::netlist::Netlist`]s and the Verilog subset in `hdl/`,
+//!    parsed by [`parse`].
+//!
+//! The `xlac-lint` binary runs both passes over every built-in
+//! configuration and exits non-zero on any error-severity finding or
+//! unsound bound; `scripts/ci.sh` gates on it. DESIGN.md §9 documents the
+//! domain, the soundness arguments and the rule catalog.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bound;
+pub mod components;
+pub mod lint;
+pub mod parse;
+pub mod validate;
+
+pub use bound::ErrorBound;
+pub use components::{
+    builtin_profiles, cell_deviation, fir_bound, gear_adder_bound, mul2x2_bound,
+    recursive_multiplier_bound, ripple_adder_bound, sad_bound, subtractor_bound,
+    truncated_bound, wallace_bound, CellDeviation, StaticProfile,
+};
+pub use lint::{lint_netlist, lint_raw, Diagnostic, LintReport, LintRule, Severity};
+pub use parse::{parse_verilog, RawNetlist};
+pub use validate::{run_all_checks, BoundCheck};

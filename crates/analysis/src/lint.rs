@@ -1,0 +1,561 @@
+//! Structural netlist lint.
+//!
+//! Nine rules over a [`RawNetlist`] (parsed from Verilog or converted from
+//! a built [`Netlist`]):
+//!
+//! | Rule    | Severity | Finding |
+//! |---------|----------|---------|
+//! | `XL000` | Error    | unparseable source line |
+//! | `XL001` | Error    | floating net (used but never driven) |
+//! | `XL002` | Error    | multiply-driven net |
+//! | `XL003` | Error    | combinational cycle |
+//! | `XL004` | Error    | operand count does not match the cell arity |
+//! | `XL005` | Warning  | dead gate (drives no output cone) |
+//! | `XL006` | Warning  | gate output is provably constant |
+//! | `XL007` | Warning  | unused input port |
+//! | `XL008` | Error    | undriven output port |
+//!
+//! Errors are structural defects that make the netlist unsynthesizable or
+//! non-deterministic; warnings flag waste (which the paper's approximate
+//! cells legitimately produce — `ApxFA5` ignores its carry-in by design,
+//! so `XL007` is informational, not gating).
+
+use crate::parse::{is_constant, CellFunc, ParseError, RawCell, RawNetlist};
+use std::collections::{HashMap, HashSet};
+use xlac_logic::gate::GateKind;
+use xlac_logic::netlist::{Netlist, Signal};
+
+/// Diagnostic severity. Only `Error` findings gate CI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Informational finding; does not fail the lint run.
+    Warning,
+    /// Structural defect; fails the lint run.
+    Error,
+}
+
+impl Severity {
+    fn as_str(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// The lint rule catalog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LintRule {
+    /// `XL000`: unparseable source line.
+    ParseError,
+    /// `XL001`: a signal is consumed but nothing drives it.
+    FloatingNet,
+    /// `XL002`: two or more drivers contend for one signal.
+    MultiplyDrivenNet,
+    /// `XL003`: the combinational dependency graph has a cycle.
+    CombinationalCycle,
+    /// `XL004`: operand count does not match the cell's arity.
+    ArityMismatch,
+    /// `XL005`: a gate's output reaches no output port.
+    DeadGate,
+    /// `XL006`: a gate's output is provably constant.
+    ConstantCone,
+    /// `XL007`: an input port is never consumed.
+    UnusedInput,
+    /// `XL008`: an output port has no driver.
+    UndrivenOutput,
+}
+
+impl LintRule {
+    /// Stable rule identifier, as emitted in reports and JSON.
+    #[must_use]
+    pub fn id(self) -> &'static str {
+        match self {
+            LintRule::ParseError => "XL000",
+            LintRule::FloatingNet => "XL001",
+            LintRule::MultiplyDrivenNet => "XL002",
+            LintRule::CombinationalCycle => "XL003",
+            LintRule::ArityMismatch => "XL004",
+            LintRule::DeadGate => "XL005",
+            LintRule::ConstantCone => "XL006",
+            LintRule::UnusedInput => "XL007",
+            LintRule::UndrivenOutput => "XL008",
+        }
+    }
+
+    /// The rule's fixed severity.
+    #[must_use]
+    pub fn severity(self) -> Severity {
+        match self {
+            LintRule::DeadGate | LintRule::ConstantCone | LintRule::UnusedInput => {
+                Severity::Warning
+            }
+            _ => Severity::Error,
+        }
+    }
+}
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Finding severity (fixed per rule).
+    pub severity: Severity,
+    /// Stable rule identifier (`XL001`, …).
+    pub rule_id: &'static str,
+    /// Where the finding anchors: `module:line` or `module:signal`.
+    pub location: String,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl Diagnostic {
+    fn new(rule: LintRule, location: String, message: String) -> Diagnostic {
+        Diagnostic { severity: rule.severity(), rule_id: rule.id(), location, message }
+    }
+}
+
+/// The lint result for one module.
+#[derive(Debug, Clone, Default)]
+pub struct LintReport {
+    /// Module name.
+    pub module: String,
+    /// All findings, in rule order.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl LintReport {
+    /// `true` when any finding is error-severity.
+    #[must_use]
+    pub fn has_errors(&self) -> bool {
+        self.diagnostics.iter().any(|d| d.severity == Severity::Error)
+    }
+
+    /// Findings matching a rule, for golden tests.
+    #[must_use]
+    pub fn matching(&self, rule: LintRule) -> Vec<&Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.rule_id == rule.id()).collect()
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serializes reports as a JSON array (hand-rolled: the workspace is
+/// dependency-free by design).
+#[must_use]
+pub fn reports_to_json(reports: &[LintReport]) -> String {
+    let mut out = String::from("[\n");
+    for (i, report) in reports.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"module\": \"{}\", \"diagnostics\": [",
+            json_escape(&report.module)
+        ));
+        for (j, d) in report.diagnostics.iter().enumerate() {
+            out.push_str(&format!(
+                "\n    {{\"severity\": \"{}\", \"rule_id\": \"{}\", \"location\": \"{}\", \"message\": \"{}\"}}{}",
+                d.severity.as_str(),
+                d.rule_id,
+                json_escape(&d.location),
+                json_escape(&d.message),
+                if j + 1 < report.diagnostics.len() { "," } else { "\n  " }
+            ));
+        }
+        out.push_str(&format!("]}}{}\n", if i + 1 < reports.len() { "," } else { "" }));
+    }
+    out.push(']');
+    out
+}
+
+/// Three-valued signal state for constant propagation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Value {
+    Unknown,
+    Known(bool),
+}
+
+fn eval_gate(kind: GateKind, inputs: &[Value]) -> Value {
+    use Value::{Known, Unknown};
+    let known: Option<Vec<u64>> = inputs
+        .iter()
+        .map(|v| match v {
+            Known(b) => Some(u64::from(*b)),
+            Unknown => None,
+        })
+        .collect();
+    if let Some(bits) = known {
+        return Known(kind.eval(&bits) == 1);
+    }
+    // Dominance rules: one known input can fix the output.
+    match kind {
+        GateKind::And2 if inputs.contains(&Known(false)) => Known(false),
+        GateKind::Or2 if inputs.contains(&Known(true)) => Known(true),
+        GateKind::Nand2 if inputs.contains(&Known(false)) => Known(true),
+        GateKind::Nor2 if inputs.contains(&Known(true)) => Known(false),
+        GateKind::Mux2 => match inputs[2] {
+            Known(sel) => inputs[usize::from(sel)],
+            Unknown => {
+                if let (Known(a), Known(b)) = (inputs[0], inputs[1]) {
+                    if a == b {
+                        return Known(a);
+                    }
+                }
+                Unknown
+            }
+        },
+        _ => Unknown,
+    }
+}
+
+fn cell_arity(cell: &RawCell) -> usize {
+    match cell.func {
+        CellFunc::Gate(kind) => kind.arity(),
+        CellFunc::Alias => 1,
+    }
+}
+
+fn location(net: &RawNetlist, cell: &RawCell) -> String {
+    if cell.line > 0 {
+        format!("{}:{}", net.name, cell.line)
+    } else {
+        format!("{}:{}", net.name, cell.name)
+    }
+}
+
+/// Lints a raw netlist, with any parse errors folded in as `XL000`.
+#[must_use]
+pub fn lint_raw(net: &RawNetlist, parse_errors: &[ParseError]) -> LintReport {
+    let mut diags = Vec::new();
+    for e in parse_errors {
+        diags.push(Diagnostic::new(
+            LintRule::ParseError,
+            format!("{}:{}", net.name, e.line),
+            e.message.clone(),
+        ));
+    }
+
+    // Driver map: signal name → indices of driving cells.
+    let mut drivers: HashMap<&str, Vec<usize>> = HashMap::new();
+    for (i, cell) in net.cells.iter().enumerate() {
+        drivers.entry(cell.output.as_str()).or_default().push(i);
+    }
+    let input_ports: HashSet<&str> = net.inputs.iter().map(String::as_str).collect();
+
+    // XL002: multiple drivers (input ports with a driver also contend).
+    for (signal, who) in &drivers {
+        let port_driver = usize::from(input_ports.contains(signal));
+        if who.len() + port_driver > 1 {
+            diags.push(Diagnostic::new(
+                LintRule::MultiplyDrivenNet,
+                format!("{}:{}", net.name, signal),
+                format!("net {signal:?} has {} drivers", who.len() + port_driver),
+            ));
+        }
+    }
+
+    // XL004: arity mismatches.
+    for cell in &net.cells {
+        let expected = cell_arity(cell);
+        if cell.inputs.len() != expected {
+            diags.push(Diagnostic::new(
+                LintRule::ArityMismatch,
+                location(net, cell),
+                format!(
+                    "cell {:?} expects {expected} operand(s), got {}",
+                    cell.name,
+                    cell.inputs.len()
+                ),
+            ));
+        }
+    }
+
+    // XL001: floating nets — consumed somewhere, driven nowhere.
+    let mut used: HashSet<&str> = HashSet::new();
+    for cell in &net.cells {
+        for input in &cell.inputs {
+            used.insert(input.as_str());
+        }
+    }
+    let mut floating: Vec<&str> = used
+        .iter()
+        .filter(|s| {
+            !is_constant(s) && !input_ports.contains(*s) && !drivers.contains_key(*s)
+        })
+        .copied()
+        .collect();
+    floating.sort_unstable();
+    for signal in floating {
+        diags.push(Diagnostic::new(
+            LintRule::FloatingNet,
+            format!("{}:{}", net.name, signal),
+            format!("net {signal:?} is consumed but has no driver"),
+        ));
+    }
+
+    // XL008: undriven outputs.
+    for output in &net.outputs {
+        if !drivers.contains_key(output.as_str()) && !input_ports.contains(output.as_str()) {
+            diags.push(Diagnostic::new(
+                LintRule::UndrivenOutput,
+                format!("{}:{}", net.name, output),
+                format!("output port {output:?} has no driver"),
+            ));
+        }
+    }
+
+    // XL003: combinational cycles. A cell is cyclic exactly when it can
+    // reach itself through the dependency edges (cell → cells driving its
+    // inputs); netlists here are small enough for per-cell reachability.
+    let dependencies: Vec<Vec<usize>> = net
+        .cells
+        .iter()
+        .map(|cell| {
+            cell.inputs
+                .iter()
+                .filter_map(|input| drivers.get(input.as_str()))
+                .flatten()
+                .copied()
+                .collect()
+        })
+        .collect();
+    let mut has_cycle = false;
+    for (i, cell) in net.cells.iter().enumerate() {
+        let mut seen = HashSet::new();
+        let mut frontier = dependencies[i].clone();
+        let mut cyclic = false;
+        while let Some(j) = frontier.pop() {
+            if j == i {
+                cyclic = true;
+                break;
+            }
+            if seen.insert(j) {
+                frontier.extend(dependencies[j].iter().copied());
+            }
+        }
+        if cyclic {
+            has_cycle = true;
+            diags.push(Diagnostic::new(
+                LintRule::CombinationalCycle,
+                location(net, cell),
+                format!("cell {:?} sits on a combinational cycle", cell.name),
+            ));
+        }
+    }
+
+    // XL005: dead gates — reverse reachability from the output ports.
+    let mut live: HashSet<usize> = HashSet::new();
+    let mut frontier: Vec<usize> = net
+        .outputs
+        .iter()
+        .filter_map(|o| drivers.get(o.as_str()))
+        .flatten()
+        .copied()
+        .collect();
+    while let Some(i) = frontier.pop() {
+        if !live.insert(i) {
+            continue;
+        }
+        for input in &net.cells[i].inputs {
+            if let Some(who) = drivers.get(input.as_str()) {
+                frontier.extend(who.iter().copied());
+            }
+        }
+    }
+    for (i, cell) in net.cells.iter().enumerate() {
+        if !live.contains(&i) && matches!(cell.func, CellFunc::Gate(_)) {
+            diags.push(Diagnostic::new(
+                LintRule::DeadGate,
+                location(net, cell),
+                format!("cell {:?} drives no output cone", cell.name),
+            ));
+        }
+    }
+
+    // XL006: constant-foldable cones (skipped when cyclic — no stable
+    // evaluation order exists).
+    if !has_cycle {
+        let mut values: HashMap<&str, Value> = HashMap::new();
+        for input in &net.inputs {
+            values.insert(input.as_str(), Value::Unknown);
+        }
+        let signal_value = |values: &HashMap<&str, Value>, s: &str| match s {
+            "1'b0" => Value::Known(false),
+            "1'b1" => Value::Known(true),
+            _ => values.get(s).copied().unwrap_or(Value::Unknown),
+        };
+        // Cells are in (acyclic) dependency order after enough passes;
+        // iterate until fixpoint, bounded by the cell count.
+        for _ in 0..=net.cells.len() {
+            let mut changed = false;
+            for cell in &net.cells {
+                if cell.inputs.len() != cell_arity(cell) {
+                    continue;
+                }
+                let inputs: Vec<Value> =
+                    cell.inputs.iter().map(|s| signal_value(&values, s)).collect();
+                let out = match cell.func {
+                    CellFunc::Gate(kind) => eval_gate(kind, &inputs),
+                    CellFunc::Alias => inputs[0],
+                };
+                if signal_value(&values, &cell.output) != out {
+                    values.insert(cell.output.as_str(), out);
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        for cell in &net.cells {
+            if let (CellFunc::Gate(_), Value::Known(v)) =
+                (cell.func, signal_value(&values, &cell.output))
+            {
+                diags.push(Diagnostic::new(
+                    LintRule::ConstantCone,
+                    location(net, cell),
+                    format!("cell {:?} always outputs {}", cell.name, u8::from(v)),
+                ));
+            }
+        }
+    }
+
+    // XL007: unused inputs (an input forwarded straight to an output port
+    // counts as used only through a cell, which conversion materializes).
+    for input in &net.inputs {
+        if !used.contains(input.as_str()) {
+            diags.push(Diagnostic::new(
+                LintRule::UnusedInput,
+                format!("{}:{}", net.name, input),
+                format!("input port {input:?} is never consumed"),
+            ));
+        }
+    }
+
+    diags.sort_by(|a, b| a.rule_id.cmp(b.rule_id).then_with(|| a.location.cmp(&b.location)));
+    LintReport { module: net.name.clone(), diagnostics: diags }
+}
+
+fn signal_name(signal: Signal) -> String {
+    match signal {
+        Signal::Input(i) => format!("i{i}"),
+        Signal::Gate(g) => format!("w{g}"),
+        Signal::Const(true) => "1'b1".into(),
+        Signal::Const(false) => "1'b0".into(),
+    }
+}
+
+/// Converts a built [`Netlist`] into the raw string-signal form the linter
+/// consumes, mirroring the naming scheme of the Verilog emitter. Output
+/// ports become alias cells.
+#[must_use]
+pub fn raw_from_netlist(netlist: &Netlist) -> RawNetlist {
+    let mut raw = RawNetlist {
+        name: netlist.name().to_string(),
+        inputs: (0..netlist.n_inputs()).map(|i| format!("i{i}")).collect(),
+        outputs: (0..netlist.n_outputs()).map(|k| format!("o{k}")).collect(),
+        wires: (0..netlist.gate_count()).map(|g| format!("w{g}")).collect(),
+        cells: Vec::new(),
+    };
+    for (g, (kind, fanin)) in netlist.gates().enumerate() {
+        raw.cells.push(RawCell {
+            name: format!("g{g}"),
+            func: CellFunc::Gate(kind),
+            output: format!("w{g}"),
+            inputs: fanin.iter().map(|&s| signal_name(s)).collect(),
+            line: 0,
+        });
+    }
+    for (k, signal) in netlist.outputs().enumerate() {
+        raw.cells.push(RawCell {
+            name: format!("o{k}"),
+            func: CellFunc::Alias,
+            output: format!("o{k}"),
+            inputs: vec![signal_name(signal)],
+            line: 0,
+        });
+    }
+    raw
+}
+
+/// Lints a built netlist directly.
+#[must_use]
+pub fn lint_netlist(netlist: &Netlist) -> LintReport {
+    lint_raw(&raw_from_netlist(netlist), &[])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_verilog;
+    use xlac_adders::FullAdderKind;
+
+    fn lint_source(src: &str) -> LintReport {
+        let (module, errors) = parse_verilog(src);
+        lint_raw(&module.unwrap(), &errors)
+    }
+
+    #[test]
+    fn clean_synthesized_netlists_have_no_errors() {
+        for kind in FullAdderKind::ALL {
+            let report = lint_netlist(&kind.synthesized_netlist());
+            assert!(!report.has_errors(), "{kind}: {:?}", report.diagnostics);
+        }
+    }
+
+    #[test]
+    fn apxfa5_structural_netlist_flags_its_unused_carry_in() {
+        let report = lint_netlist(&FullAdderKind::Apx5.structural_netlist());
+        assert!(!report.has_errors());
+        assert_eq!(report.matching(LintRule::UnusedInput).len(), 1);
+    }
+
+    #[test]
+    fn floating_net_is_an_error() {
+        let report = lint_source(
+            "module m (\n    input  wire i0,\n    output wire o0\n);\n    wire w0;\n\
+             and  g0 (w0, i0, phantom);\n    assign o0 = w0;\nendmodule\n",
+        );
+        assert!(report.has_errors());
+        assert_eq!(report.matching(LintRule::FloatingNet).len(), 1);
+    }
+
+    #[test]
+    fn cycle_is_detected() {
+        let report = lint_source(
+            "module m (\n    input  wire i0,\n    output wire o0\n);\n    wire w0, w1;\n\
+             and  g0 (w0, i0, w1);\n    or   g1 (w1, w0, i0);\n    assign o0 = w0;\nendmodule\n",
+        );
+        assert!(report.has_errors());
+        assert!(report.matching(LintRule::CombinationalCycle).len() >= 2);
+    }
+
+    #[test]
+    fn constant_cone_and_dead_gate_are_warnings() {
+        let report = lint_source(
+            "module m (\n    input  wire i0,\n    output wire o0\n);\n    wire w0, w1;\n\
+             and  g0 (w0, i0, 1'b0);\n    nand g1 (w1, w0, w0);\n    assign o0 = w0;\nendmodule\n",
+        );
+        assert!(!report.has_errors());
+        assert_eq!(report.matching(LintRule::ConstantCone).len(), 2);
+        assert_eq!(report.matching(LintRule::DeadGate).len(), 1);
+    }
+
+    #[test]
+    fn json_output_is_well_formed() {
+        let report = lint_netlist(&FullAdderKind::Apx5.structural_netlist());
+        let json = reports_to_json(&[report]);
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert!(json.contains("\"rule_id\": \"XL007\""));
+    }
+}

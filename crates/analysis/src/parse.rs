@@ -1,0 +1,321 @@
+//! A line-oriented parser for the Verilog subset that `xlac_logic::verilog`
+//! emits (and that `hdl/` ships): one module per file, scalar
+//! `input`/`output wire` ports, one `wire` declaration line, gate
+//! primitives, and `assign` statements (plain aliases or 2:1 mux
+//! conditionals).
+//!
+//! Parsing is deliberately lenient: unrecognized lines become
+//! [`ParseError`]s (surfaced by the linter as `XL000` diagnostics) and
+//! parsing continues, so a single bad line does not hide structural
+//! problems elsewhere in the file.
+
+use xlac_logic::gate::GateKind;
+
+/// A line the parser could not interpret.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based source line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+/// The function of one parsed cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellFunc {
+    /// A gate primitive or mux conditional.
+    Gate(GateKind),
+    /// A plain `assign lhs = rhs;` alias.
+    Alias,
+}
+
+/// One driver in the netlist: a gate instance or an assign.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawCell {
+    /// Instance name (`g3`) or the assign target for aliases.
+    pub name: String,
+    /// Cell function.
+    pub func: CellFunc,
+    /// Driven signal.
+    pub output: String,
+    /// Input signals in cell-operand order (`[d0, d1, sel]` for mux).
+    pub inputs: Vec<String>,
+    /// 1-based source line number.
+    pub line: usize,
+}
+
+/// A structural netlist in terms of named signals, as parsed from source
+/// (or converted from a built [`xlac_logic::netlist::Netlist`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RawNetlist {
+    /// Module name.
+    pub name: String,
+    /// Input port names, in declaration order.
+    pub inputs: Vec<String>,
+    /// Output port names, in declaration order.
+    pub outputs: Vec<String>,
+    /// Declared internal wires.
+    pub wires: Vec<String>,
+    /// All drivers.
+    pub cells: Vec<RawCell>,
+}
+
+/// `true` for the constant literals `1'b0` / `1'b1`.
+#[must_use]
+pub fn is_constant(signal: &str) -> bool {
+    signal == "1'b0" || signal == "1'b1"
+}
+
+fn is_identifier(token: &str) -> bool {
+    !token.is_empty()
+        && token.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && token.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+fn is_signal(token: &str) -> bool {
+    is_identifier(token) || is_constant(token)
+}
+
+/// Splits `"g3 (w3, i0, w1)"` into the instance name and operand list.
+fn split_instance(rest: &str) -> Option<(String, Vec<String>)> {
+    let open = rest.find('(')?;
+    let close = rest.rfind(')')?;
+    if close < open {
+        return None;
+    }
+    let name = rest[..open].trim().to_string();
+    let operands: Vec<String> =
+        rest[open + 1..close].split(',').map(|s| s.trim().to_string()).collect();
+    if !is_identifier(&name) || operands.iter().any(|o| !is_signal(o)) {
+        return None;
+    }
+    Some((name, operands))
+}
+
+/// Parses one source file. Returns the module (if a `module` header was
+/// found) plus every unparseable line.
+#[must_use]
+pub fn parse_verilog(source: &str) -> (Option<RawNetlist>, Vec<ParseError>) {
+    let mut module: Option<RawNetlist> = None;
+    let mut errors = Vec::new();
+    let mut in_header = false;
+    let err = |line: usize, message: String, errors: &mut Vec<ParseError>| {
+        errors.push(ParseError { line, message });
+    };
+
+    for (idx, raw_line) in source.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw_line.split("//").next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+
+        if let Some(rest) = line.strip_prefix("module ") {
+            if module.is_some() {
+                err(line_no, "second module declaration".into(), &mut errors);
+                continue;
+            }
+            let name = rest.trim_end_matches('(').trim().to_string();
+            if !is_identifier(&name) {
+                err(line_no, format!("bad module name {name:?}"), &mut errors);
+                continue;
+            }
+            module = Some(RawNetlist { name, ..RawNetlist::default() });
+            in_header = true;
+            continue;
+        }
+        let Some(net) = module.as_mut() else {
+            err(line_no, "statement outside a module".into(), &mut errors);
+            continue;
+        };
+
+        if in_header {
+            if line == ");" {
+                in_header = false;
+                continue;
+            }
+            let port = line.trim_end_matches(',');
+            let mut tokens = port.split_whitespace();
+            match (tokens.next(), tokens.next(), tokens.next(), tokens.next()) {
+                (Some("input"), Some("wire"), Some(name), None) if is_identifier(name) => {
+                    net.inputs.push(name.to_string());
+                }
+                (Some("output"), Some("wire"), Some(name), None) if is_identifier(name) => {
+                    net.outputs.push(name.to_string());
+                }
+                _ => err(line_no, format!("bad port declaration {line:?}"), &mut errors),
+            }
+            continue;
+        }
+
+        if line == "endmodule" {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("wire ") {
+            let Some(decl) = rest.strip_suffix(';') else {
+                err(line_no, "wire declaration missing ';'".into(), &mut errors);
+                continue;
+            };
+            let mut ok = true;
+            for w in decl.split(',').map(str::trim) {
+                if is_identifier(w) {
+                    net.wires.push(w.to_string());
+                } else {
+                    ok = false;
+                }
+            }
+            if !ok {
+                err(line_no, format!("bad wire declaration {line:?}"), &mut errors);
+            }
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("assign ") {
+            let Some(stmt) = rest.strip_suffix(';') else {
+                err(line_no, "assign missing ';'".into(), &mut errors);
+                continue;
+            };
+            let Some((lhs, rhs)) = stmt.split_once('=') else {
+                err(line_no, "assign missing '='".into(), &mut errors);
+                continue;
+            };
+            let lhs = lhs.trim().to_string();
+            let rhs = rhs.trim();
+            if !is_identifier(&lhs) {
+                err(line_no, format!("bad assign target {lhs:?}"), &mut errors);
+                continue;
+            }
+            if let Some((sel, branches)) = rhs.split_once('?') {
+                let Some((d1, d0)) = branches.split_once(':') else {
+                    err(line_no, "conditional missing ':'".into(), &mut errors);
+                    continue;
+                };
+                let (sel, d1, d0) = (sel.trim(), d1.trim(), d0.trim());
+                if [sel, d1, d0].iter().all(|s| is_signal(s)) {
+                    net.cells.push(RawCell {
+                        name: lhs.clone(),
+                        func: CellFunc::Gate(GateKind::Mux2),
+                        output: lhs,
+                        inputs: vec![d0.to_string(), d1.to_string(), sel.to_string()],
+                        line: line_no,
+                    });
+                } else {
+                    err(line_no, format!("bad conditional operands {rhs:?}"), &mut errors);
+                }
+            } else if is_signal(rhs) {
+                net.cells.push(RawCell {
+                    name: lhs.clone(),
+                    func: CellFunc::Alias,
+                    output: lhs,
+                    inputs: vec![rhs.to_string()],
+                    line: line_no,
+                });
+            } else {
+                err(line_no, format!("bad assign source {rhs:?}"), &mut errors);
+            }
+            continue;
+        }
+        // Gate primitive: `nand g3 (w3, i0, w1);`
+        let Some(stmt) = line.strip_suffix(';') else {
+            err(line_no, format!("unrecognized statement {line:?}"), &mut errors);
+            continue;
+        };
+        let mut parts = stmt.splitn(2, char::is_whitespace);
+        let prim = parts.next().unwrap_or_default();
+        let rest = parts.next().unwrap_or_default();
+        let Some(kind) = GateKind::from_verilog_primitive(prim) else {
+            err(line_no, format!("unknown primitive {prim:?}"), &mut errors);
+            continue;
+        };
+        let Some((name, mut operands)) = split_instance(rest) else {
+            err(line_no, format!("bad instance syntax {line:?}"), &mut errors);
+            continue;
+        };
+        if operands.is_empty() {
+            err(line_no, "instance with no operands".into(), &mut errors);
+            continue;
+        }
+        let output = operands.remove(0);
+        net.cells.push(RawCell {
+            name,
+            func: CellFunc::Gate(kind),
+            output,
+            inputs: operands,
+            line: line_no,
+        });
+    }
+
+    (module, errors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = "\
+// generated by xlac-logic
+module ApxFA2 (
+    input  wire i0,
+    input  wire i1,
+    input  wire i2,
+    output wire o0,
+    output wire o1
+);
+    wire w0, w1;
+
+    or   g0 (w0, i0, i2);
+    not  g1 (w1, w0);
+
+    assign o0 = w1;
+    assign o1 = i1 ? w0 : 1'b0;
+endmodule
+";
+
+    #[test]
+    fn parses_the_emitted_subset() {
+        let (module, errors) = parse_verilog(GOOD);
+        assert!(errors.is_empty(), "{errors:?}");
+        let net = module.unwrap();
+        assert_eq!(net.name, "ApxFA2");
+        assert_eq!(net.inputs, ["i0", "i1", "i2"]);
+        assert_eq!(net.outputs, ["o0", "o1"]);
+        assert_eq!(net.wires, ["w0", "w1"]);
+        assert_eq!(net.cells.len(), 4);
+        assert_eq!(net.cells[0].func, CellFunc::Gate(GateKind::Or2));
+        assert_eq!(net.cells[0].inputs, ["i0", "i2"]);
+        let mux = &net.cells[3];
+        assert_eq!(mux.func, CellFunc::Gate(GateKind::Mux2));
+        assert_eq!(mux.inputs, ["1'b0", "w0", "i1"]);
+    }
+
+    #[test]
+    fn bad_lines_become_errors_without_stopping() {
+        let src = "module m (\n    input  wire i0,\n    output wire o0\n);\n\
+                   foo bar baz;\n    assign o0 = i0;\nendmodule\n";
+        let (module, errors) = parse_verilog(src);
+        assert_eq!(errors.len(), 1);
+        assert_eq!(errors[0].line, 5);
+        let net = module.unwrap();
+        assert_eq!(net.cells.len(), 1);
+    }
+
+    #[test]
+    fn no_module_header_yields_none() {
+        let (module, errors) = parse_verilog("assign a = b;\n");
+        assert!(module.is_none());
+        assert_eq!(errors.len(), 1);
+    }
+
+    #[test]
+    fn round_trips_generated_verilog() {
+        use xlac_adders::FullAdderKind;
+        for kind in FullAdderKind::ALL {
+            let netlist = kind.synthesized_netlist();
+            let source = xlac_logic::verilog::to_verilog(&netlist);
+            let (module, errors) = parse_verilog(&source);
+            assert!(errors.is_empty(), "{kind}: {errors:?}");
+            let net = module.unwrap();
+            assert_eq!(net.inputs.len(), 3, "{kind}");
+            assert_eq!(net.outputs.len(), 2, "{kind}");
+        }
+    }
+}

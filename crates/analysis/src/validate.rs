@@ -1,0 +1,448 @@
+//! Monte-Carlo / exhaustive validation of the static bounds.
+//!
+//! Every static bound in [`crate::components`] is checked against observed
+//! behaviour: exhaustively where the input space is small enough, sampled
+//! otherwise. A bound is *sound* when no observed signed error exceeds it;
+//! exhaustive checks additionally verify the mean and error-rate fields
+//! (which are exact population statistics under uniform inputs, so no
+//! sampling-noise tolerance is needed).
+//!
+//! The same [`run_all_checks`] list backs the `xlac-lint` binary's bound
+//! pass and the workspace property tests, so CI and the test suite agree
+//! on what "validated" means.
+
+use crate::bound::ErrorBound;
+use crate::components::{
+    fir_bound, gear_adder_bound, mul2x2_bound, recursive_multiplier_bound, ripple_adder_bound,
+    sad_bound, subtractor_bound, truncated_bound, wallace_bound,
+};
+use xlac_accel::fir::FirAccelerator;
+use xlac_accel::sad::SadAccelerator;
+use xlac_adders::{Adder, FullAdderKind, GeArAdder, RippleCarryAdder, Subtractor};
+use xlac_core::error::Result;
+use xlac_core::rng::{DefaultRng, Rng};
+use xlac_multipliers::{
+    Mul2x2Kind, Multiplier, RecursiveMultiplier, SumMode, TruncatedMultiplier, WallaceMultiplier,
+};
+
+/// Seed for the sampled checks; fixed so CI failures reproduce.
+const SEED: u64 = 0xB0DA_2016;
+
+/// The outcome of validating one static bound against observation.
+#[derive(Debug, Clone)]
+pub struct BoundCheck {
+    /// Configuration name.
+    pub name: String,
+    /// The static bound under test.
+    pub bound: ErrorBound,
+    /// Largest observed `approx − exact` (clamped at 0).
+    pub observed_over: u128,
+    /// Largest observed `exact − approx` (clamped at 0).
+    pub observed_under: u128,
+    /// Observed mean absolute error.
+    pub observed_mean: f64,
+    /// Observed error rate.
+    pub observed_rate: f64,
+    /// Number of `(exact, approx)` pairs observed.
+    pub samples: u64,
+    /// `true` when the whole input space was enumerated.
+    pub exhaustive: bool,
+    /// `true` when the bound's mean/rate fields are strict derived bounds
+    /// (rather than first-order analytical estimates, as in the GeAr
+    /// error model) *and* the enumeration was exhaustive, so they can be
+    /// asserted without sampling-noise tolerance.
+    pub strict_stats: bool,
+}
+
+impl BoundCheck {
+    /// `true` when every observation respects the static bound.
+    ///
+    /// Magnitudes are distribution-free and must hold on every trial;
+    /// mean and rate are population statistics, checked only when the
+    /// observation is noise-free and the fields are strict bounds.
+    #[must_use]
+    pub fn is_sound(&self) -> bool {
+        let magnitudes =
+            self.observed_over <= self.bound.over && self.observed_under <= self.bound.under;
+        if !self.strict_stats {
+            return magnitudes;
+        }
+        magnitudes
+            && self.observed_mean <= self.bound.mean_abs + 1e-9
+            && self.observed_rate <= self.bound.error_rate_bound + 1e-9
+    }
+
+    /// Tightness of the worst-case bound: observed wce / static wce
+    /// (1.0 = attained, 0.0 = never erred or no bound).
+    #[must_use]
+    pub fn wce_tightness(&self) -> f64 {
+        let wce = self.bound.wce();
+        if wce == 0 {
+            return if self.observed_over == 0 && self.observed_under == 0 { 1.0 } else { 0.0 };
+        }
+        self.observed_over.max(self.observed_under) as f64 / wce as f64
+    }
+}
+
+/// Folds a stream of `(exact, approx)` pairs into a [`BoundCheck`].
+fn observe(
+    name: String,
+    bound: ErrorBound,
+    exhaustive: bool,
+    strict_stats: bool,
+    pairs: impl Iterator<Item = (i128, i128)>,
+) -> BoundCheck {
+    let mut observed_over = 0u128;
+    let mut observed_under = 0u128;
+    let mut abs_sum = 0.0f64;
+    let mut errors = 0u64;
+    let mut samples = 0u64;
+    for (exact, approx) in pairs {
+        samples += 1;
+        let diff = approx - exact;
+        match diff.cmp(&0) {
+            std::cmp::Ordering::Greater => observed_over = observed_over.max(diff as u128),
+            std::cmp::Ordering::Less => observed_under = observed_under.max((-diff) as u128),
+            std::cmp::Ordering::Equal => {}
+        }
+        if diff != 0 {
+            errors += 1;
+            abs_sum += diff.unsigned_abs() as f64;
+        }
+    }
+    let n = samples.max(1) as f64;
+    BoundCheck {
+        name,
+        bound,
+        observed_over,
+        observed_under,
+        observed_mean: abs_sum / n,
+        observed_rate: errors as f64 / n,
+        samples,
+        exhaustive,
+        strict_stats: strict_stats && exhaustive,
+    }
+}
+
+/// Enumerates or samples operand pairs of `width` bits each.
+fn binary_inputs(width: usize, samples: u64, rng: &mut DefaultRng) -> Vec<(u64, u64)> {
+    let space = 1u128 << (2 * width);
+    if space <= samples as u128 {
+        (0..1u64 << width)
+            .flat_map(|a| (0..1u64 << width).map(move |b| (a, b)))
+            .collect()
+    } else {
+        let mask = (1u64 << width) - 1;
+        (0..samples).map(|_| (rng.next_u64() & mask, rng.next_u64() & mask)).collect()
+    }
+}
+
+fn is_exhaustive(width: usize, samples: u64) -> bool {
+    1u128 << (2 * width) <= samples as u128
+}
+
+fn check_adder(
+    name: String,
+    adder: &dyn Adder,
+    bound: ErrorBound,
+    samples: u64,
+    strict_stats: bool,
+) -> BoundCheck {
+    let w = adder.width();
+    let mut rng = DefaultRng::seed_from_u64(SEED);
+    let inputs = binary_inputs(w, samples, &mut rng);
+    observe(
+        name,
+        bound,
+        is_exhaustive(w, samples),
+        strict_stats,
+        inputs
+            .into_iter()
+            .map(|(a, b)| ((a as i128) + (b as i128), adder.add(a, b) as i128)),
+    )
+}
+
+fn check_multiplier(
+    mul: &dyn Multiplier,
+    bound: ErrorBound,
+    samples: u64,
+) -> BoundCheck {
+    let w = mul.width();
+    let mut rng = DefaultRng::seed_from_u64(SEED ^ 0x1);
+    let inputs = binary_inputs(w, samples, &mut rng);
+    observe(
+        mul.name(),
+        bound,
+        is_exhaustive(w, samples),
+        true,
+        inputs
+            .into_iter()
+            .map(|(a, b)| (mul.exact(a, b) as i128, mul.mul(a, b) as i128)),
+    )
+}
+
+fn check_subtractor(sub: &Subtractor<RippleCarryAdder>, samples: u64) -> BoundCheck {
+    let w = sub.width();
+    let bound = subtractor_bound(sub);
+    let mut rng = DefaultRng::seed_from_u64(SEED ^ 0x2);
+    let inputs = binary_inputs(w, samples, &mut rng);
+    observe(
+        sub.name(),
+        bound,
+        is_exhaustive(w, samples),
+        true,
+        inputs.into_iter().map(|(a, b)| {
+            let exact = a as i128 - b as i128;
+            let (mag, nonneg) = sub.sub(a, b);
+            let approx = if nonneg { mag as i128 } else { -(mag as i128) };
+            (exact, approx)
+        }),
+    )
+}
+
+/// Validates the GeAr bounds: exhaustive for every valid 8-bit `(R, P)`
+/// configuration, sampled for the wider `hdl/` configurations.
+///
+/// # Errors
+///
+/// Propagates adder-construction errors (none for the enumerated sets).
+pub fn gear_checks(samples: u64) -> Result<Vec<BoundCheck>> {
+    let mut checks = Vec::new();
+    for r in 1usize..8 {
+        for p in 0usize..8 {
+            let l = r + p;
+            if l >= 8 || !(8 - l).is_multiple_of(r) {
+                continue;
+            }
+            let gear = GeArAdder::new(8, r, p)?;
+            let bound = gear_adder_bound(&gear);
+            // Mean/rate come from the first-order analytical model, not a
+            // strict derivation — only the magnitudes are asserted.
+            checks.push(check_adder(gear.name(), &gear, bound, u64::MAX, false));
+        }
+    }
+    for (n, r, p) in [(11, 1, 9), (12, 4, 4), (16, 2, 6)] {
+        let gear = GeArAdder::new(n, r, p)?;
+        let bound = gear_adder_bound(&gear);
+        checks.push(check_adder(gear.name(), &gear, bound, samples, false));
+    }
+    Ok(checks)
+}
+
+/// Validates ripple-adder and subtractor bounds for every approximate
+/// cell kind at several LSB depths (8-bit, exhaustive).
+///
+/// # Errors
+///
+/// Propagates adder-construction errors (none for the enumerated sets).
+pub fn ripple_checks(_samples: u64) -> Result<Vec<BoundCheck>> {
+    let mut checks = Vec::new();
+    for kind in FullAdderKind::ALL {
+        for lsbs in [2usize, 4, 8] {
+            if kind == FullAdderKind::Accurate && lsbs > 2 {
+                continue;
+            }
+            let adder = RippleCarryAdder::with_approx_lsbs(8, kind, lsbs)?;
+            let bound = ripple_adder_bound(&adder);
+            checks.push(check_adder(adder.name(), &adder, bound, u64::MAX, true));
+            let sub =
+                Subtractor::new(RippleCarryAdder::with_approx_lsbs(8, kind, lsbs)?);
+            checks.push(check_subtractor(&sub, u64::MAX));
+        }
+    }
+    Ok(checks)
+}
+
+/// Validates every multiplier family: 2×2 blocks and 4×4 compositions
+/// exhaustively, 8×8 compositions exhaustively or sampled per the budget.
+///
+/// # Errors
+///
+/// Propagates multiplier-construction errors (none for the enumerated
+/// sets).
+pub fn multiplier_checks(samples: u64) -> Result<Vec<BoundCheck>> {
+    let mut checks = Vec::new();
+    for kind in Mul2x2Kind::ALL {
+        let bound = mul2x2_bound(kind);
+        let mut rng = DefaultRng::seed_from_u64(SEED);
+        let inputs = binary_inputs(2, u64::MAX, &mut rng);
+        checks.push(observe(
+            format!("{kind}"),
+            bound,
+            true,
+            true,
+            inputs
+                .into_iter()
+                .map(|(a, b)| ((a * b) as i128, kind.mul(a, b) as i128)),
+        ));
+    }
+    let sum_modes = [
+        SumMode::Accurate,
+        SumMode::ApproxLsbs { kind: FullAdderKind::Apx2, lsbs: 2 },
+        SumMode::ApproxLsbs { kind: FullAdderKind::Apx5, lsbs: 4 },
+    ];
+    for width in [4usize, 8] {
+        for block in Mul2x2Kind::ALL {
+            for sum in sum_modes {
+                let mul = RecursiveMultiplier::new(width, block, sum)?;
+                let bound = recursive_multiplier_bound(&mul);
+                checks.push(check_multiplier(&mul, bound, samples));
+            }
+        }
+    }
+    for (kind, cols) in [
+        (FullAdderKind::Apx2, 4),
+        (FullAdderKind::Apx4, 8),
+        (FullAdderKind::Apx5, 8),
+        (FullAdderKind::Accurate, 0),
+    ] {
+        for width in [4usize, 8] {
+            let mul = WallaceMultiplier::new(width, kind, cols.min(2 * width))?;
+            let bound = wallace_bound(&mul);
+            checks.push(check_multiplier(&mul, bound, samples));
+        }
+    }
+    for (dropped, compensated) in [(2, false), (2, true), (4, true), (6, true)] {
+        let mul = TruncatedMultiplier::new(8, dropped, compensated)?;
+        let bound = truncated_bound(&mul);
+        checks.push(check_multiplier(&mul, bound, samples));
+    }
+    Ok(checks)
+}
+
+/// Validates the SAD accelerator bounds on random pixel blocks.
+///
+/// # Errors
+///
+/// Propagates accelerator-construction errors (none for the enumerated
+/// sets).
+pub fn sad_checks(samples: u64) -> Result<Vec<BoundCheck>> {
+    let mut checks = Vec::new();
+    let blocks = (samples / 16).max(64);
+    for variant in xlac_accel::SadVariant::ALL {
+        for lsbs in [2usize, 4, 6] {
+            let sad = SadAccelerator::new(16, variant, lsbs)?;
+            let bound = sad_bound(&sad);
+            let mut rng = DefaultRng::seed_from_u64(SEED ^ 0x3);
+            let pairs = (0..blocks).map(|_| {
+                let current: Vec<u64> = (0..16).map(|_| rng.next_u64() & 0xFF).collect();
+                let reference: Vec<u64> = (0..16).map(|_| rng.next_u64() & 0xFF).collect();
+                let exact = SadAccelerator::sad_exact(&current, &reference) as i128;
+                let approx = sad
+                    .sad(&current, &reference)
+                    .expect("matching lane count") as i128;
+                (exact, approx)
+            });
+            checks.push(observe(sad.name(), bound, false, false, pairs));
+        }
+    }
+    Ok(checks)
+}
+
+/// Validates the FIR accelerator bounds on random sample streams, for
+/// both an all-positive and a mixed-sign kernel.
+///
+/// # Errors
+///
+/// Propagates accelerator-construction errors (none for the enumerated
+/// sets).
+pub fn fir_checks(samples: u64) -> Result<Vec<BoundCheck>> {
+    let mut checks = Vec::new();
+    let kernels: [&[i64]; 2] = [&[1, 4, 6, 4, 1], &[-2, 5, 9, 5, -2]];
+    let stream_len = 64usize;
+    let streams = (samples / stream_len as u64).max(16);
+    for mode in xlac_accel::ApproxMode::ALL {
+        for (k, kernel) in kernels.iter().enumerate() {
+            let fir = FirAccelerator::new(kernel, mode)?;
+            let bound = fir_bound(&fir);
+            let mut rng = DefaultRng::seed_from_u64(SEED ^ (0x40 + k as u64));
+            let mut pairs = Vec::new();
+            for _ in 0..streams {
+                let stream: Vec<u64> =
+                    (0..stream_len).map(|_| rng.next_u64() & 0xFF).collect();
+                let exact = FirAccelerator::apply_exact(kernel, &stream);
+                let approx = fir.apply(&stream);
+                pairs.extend(
+                    exact
+                        .into_iter()
+                        .zip(approx)
+                        .map(|(e, a)| (e as i128, a as i128)),
+                );
+            }
+            checks.push(observe(
+                format!("{} h{:?}", fir.name(), kernel),
+                bound,
+                false,
+                false,
+                pairs.into_iter(),
+            ));
+        }
+    }
+    Ok(checks)
+}
+
+/// Runs the full validation battery at the given sampling budget.
+///
+/// # Errors
+///
+/// Propagates component-construction errors (none for the built-in sets).
+pub fn run_all_checks(samples: u64) -> Result<Vec<BoundCheck>> {
+    let mut checks = gear_checks(samples)?;
+    checks.extend(ripple_checks(samples)?);
+    checks.extend(multiplier_checks(samples)?);
+    checks.extend(sad_checks(samples)?);
+    checks.extend(fir_checks(samples)?);
+    Ok(checks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gear_bounds_are_sound_exhaustively() {
+        for check in gear_checks(10_000).unwrap() {
+            assert!(check.is_sound(), "{}: {check:?}", check.name);
+        }
+    }
+
+    #[test]
+    fn ripple_and_subtractor_bounds_are_sound_exhaustively() {
+        for check in ripple_checks(0).unwrap() {
+            assert!(check.exhaustive, "{}", check.name);
+            assert!(check.is_sound(), "{}: {check:?}", check.name);
+        }
+    }
+
+    #[test]
+    fn multiplier_bounds_are_sound() {
+        for check in multiplier_checks(20_000).unwrap() {
+            assert!(check.is_sound(), "{}: {check:?}", check.name);
+        }
+    }
+
+    #[test]
+    fn accelerator_bounds_are_sound() {
+        for check in sad_checks(20_000).unwrap() {
+            assert!(check.is_sound(), "{}: {check:?}", check.name);
+        }
+        for check in fir_checks(20_000).unwrap() {
+            assert!(check.is_sound(), "{}: {check:?}", check.name);
+        }
+    }
+
+    #[test]
+    fn exact_configurations_observe_no_error() {
+        let checks = run_all_checks(5_000).unwrap();
+        let exact: Vec<_> = checks.iter().filter(|c| c.bound.is_exact()).collect();
+        assert!(!exact.is_empty());
+        for check in exact {
+            assert_eq!(
+                (check.observed_over, check.observed_under),
+                (0, 0),
+                "{}",
+                check.name
+            );
+        }
+    }
+}

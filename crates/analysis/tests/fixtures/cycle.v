@@ -1,0 +1,12 @@
+// lint fixture: g0 and g1 feed each other (XL003)
+module cycle (
+    input  wire i0,
+    output wire o0
+);
+    wire w0, w1;
+
+    and  g0 (w0, i0, w1);
+    or   g1 (w1, w0, i0);
+
+    assign o0 = w1;
+endmodule

@@ -1,0 +1,14 @@
+// lint fixture: g1/g2 form a cone that reaches no output (XL005)
+module dead_gate (
+    input  wire i0,
+    input  wire i1,
+    output wire o0
+);
+    wire w0, w1, w2;
+
+    xor  g0 (w0, i0, i1);
+    and  g1 (w1, i0, i1);
+    not  g2 (w2, w1);
+
+    assign o0 = w0;
+endmodule

@@ -1,0 +1,12 @@
+// lint fixture: w9 is consumed but never driven (XL001)
+module floating_net (
+    input  wire i0,
+    input  wire i1,
+    output wire o0
+);
+    wire w0;
+
+    and  g0 (w0, i0, w9);
+
+    assign o0 = w0;
+endmodule

@@ -1,0 +1,14 @@
+// lint fixture: w0 has two drivers (XL002) and o1 has none (XL008)
+module multi_driven (
+    input  wire i0,
+    input  wire i1,
+    output wire o0,
+    output wire o1
+);
+    wire w0;
+
+    and  g0 (w0, i0, i1);
+    or   g1 (w0, i0, i1);
+
+    assign o0 = w0;
+endmodule

@@ -1,0 +1,15 @@
+// lint fixture: a 2-input gate with three operands and an inverter
+// with two (XL004)
+module width_mismatch (
+    input  wire i0,
+    input  wire i1,
+    input  wire i2,
+    output wire o0
+);
+    wire w0, w1;
+
+    and  g0 (w0, i0, i1, i2);
+    not  g1 (w1, w0, i0);
+
+    assign o0 = w1;
+endmodule

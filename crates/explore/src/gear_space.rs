@@ -38,6 +38,11 @@ pub struct GearDesignPoint {
     pub lut_area: usize,
     /// Normalized ASIC delay (one sub-adder ripple chain).
     pub delay: f64,
+    /// Static worst-case error bound from `xlac-analysis` (a sound
+    /// ceiling on any error the adder can produce).
+    pub wce_bound: u64,
+    /// Static bound on the mean error distance under uniform inputs.
+    pub mean_error_bound: f64,
 }
 
 impl GearDesignPoint {
@@ -85,6 +90,8 @@ pub fn enumerate_gear_space(n: usize) -> Result<Vec<GearDesignPoint>> {
                 accuracy_percent: (1.0 - model.exact()) * 100.0,
                 lut_area: gear.lut_area(),
                 delay: gear.hw_cost().delay,
+                wce_bound: gear.worst_case_error(),
+                mean_error_bound: model.mean_error_distance(),
             });
         }
     }
@@ -168,6 +175,33 @@ mod tests {
             let space = enumerate_gear_space(n).unwrap();
             assert!(space.iter().all(|pt| pt.sub_adders >= 2), "N={n}");
             assert!(space.iter().all(|pt| pt.accuracy_percent < 100.0), "N={n}");
+        }
+    }
+
+    #[test]
+    fn static_bounds_are_sound_for_eight_bit_points() {
+        // Exhaustively confirm the static WCE ceiling on every 8-bit point.
+        let space = enumerate_gear_space(8).unwrap();
+        for pt in &space {
+            let gear = pt.adder().unwrap();
+            let mut observed_max = 0u64;
+            for a in 0..256u64 {
+                for b in 0..256u64 {
+                    let approx = Adder::add(&gear, a, b);
+                    observed_max = observed_max.max((a + b).abs_diff(approx));
+                }
+            }
+            assert!(
+                observed_max <= pt.wce_bound,
+                "{}: observed {observed_max} > bound {}",
+                pt.label(),
+                pt.wce_bound
+            );
+            assert!(pt.mean_error_bound >= 0.0, "{}", pt.label());
+            // Exact points (none exist here, but keep the invariant honest):
+            if pt.wce_bound == 0 {
+                assert!((pt.accuracy_percent - 100.0).abs() < 1e-9);
+            }
         }
     }
 

@@ -9,6 +9,10 @@
 //! * [`gear_space`] — enumerate **all** valid `(R, P)` configurations for
 //!   an operand width, scoring each with the analytical error model and
 //!   the LUT area model (the Table IV generator).
+//! * [`mul_space`] — enumerate the multiplier design space, with an
+//!   optional **static pre-filter**: `xlac-analysis` error bounds prune
+//!   statically dominated configurations before any Monte-Carlo
+//!   simulation runs.
 //! * [`pareto`] — generic Pareto-frontier extraction over
 //!   (cost, quality) records.
 //! * [`selection`] — the constraint queries from the paper's text: the
@@ -40,6 +44,9 @@ pub mod pareto;
 pub mod selection;
 
 pub use gear_space::{enumerate_gear_space, GearDesignPoint};
-pub use mul_space::enumerate_multiplier_space;
+pub use mul_space::{
+    enumerate_multiplier_space, enumerate_multiplier_space_prefiltered, PrefilteredSpace,
+    StaticPoint,
+};
 pub use pareto::pareto_frontier;
 pub use selection::{max_accuracy, min_area_with_accuracy};

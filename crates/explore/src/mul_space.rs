@@ -8,21 +8,37 @@
 //! ([`xlac_core::ComponentProfile`]) and hands them to the generic Pareto
 //! machinery — the multiplier counterpart of [`crate::gear_space`].
 //!
+//! Since every configuration also has a *free* static error bound from
+//! `xlac-analysis`, [`enumerate_multiplier_space_prefiltered`] prunes
+//! statically dominated designs before spending any Monte-Carlo budget:
+//! simulation only runs for members of the static `(area, wce-bound)`
+//! Pareto frontier.
+//!
 //! # Example
 //!
 //! ```
-//! use xlac_explore::mul_space::enumerate_multiplier_space;
+//! use xlac_explore::mul_space::{
+//!     enumerate_multiplier_space, enumerate_multiplier_space_prefiltered,
+//! };
 //!
 //! # fn main() -> Result<(), xlac_core::XlacError> {
 //! let space = enumerate_multiplier_space(8, 20_000)?;
 //! assert!(space.len() > 10);
 //! // Every profile carries a cost and quality record.
 //! assert!(space.iter().all(|p| p.cost.area_ge > 0.0));
+//!
+//! // The static pre-filter skips simulation for dominated designs.
+//! let pre = enumerate_multiplier_space_prefiltered(8, 20_000)?;
+//! assert_eq!(pre.evaluated.len() + pre.pruned.len(), space.len());
+//! assert!(!pre.pruned.is_empty());
 //! # Ok(())
 //! # }
 //! ```
 
 use xlac_adders::FullAdderKind;
+use xlac_analysis::bound::ErrorBound;
+use xlac_analysis::components::{recursive_multiplier_bound, truncated_bound, wallace_bound};
+use xlac_core::characterization::HwCost;
 use xlac_core::error::Result;
 use xlac_core::metrics::{exhaustive_binary, sampled_binary, ErrorStats};
 use xlac_core::ComponentProfile;
@@ -31,7 +47,79 @@ use xlac_multipliers::{
 };
 use xlac_core::rng::DefaultRng;
 
-fn quality<M: Multiplier>(m: &M, samples: u64) -> ErrorStats {
+/// One multiplier configuration, kept as its concrete family type so the
+/// static bound can be computed without simulation at construction time.
+enum MulConfig {
+    Recursive(RecursiveMultiplier),
+    Wallace(WallaceMultiplier),
+    Truncated(TruncatedMultiplier),
+}
+
+impl MulConfig {
+    fn as_multiplier(&self) -> &dyn Multiplier {
+        match self {
+            MulConfig::Recursive(m) => m,
+            MulConfig::Wallace(m) => m,
+            MulConfig::Truncated(m) => m,
+        }
+    }
+
+    fn bound(&self) -> ErrorBound {
+        match self {
+            MulConfig::Recursive(m) => recursive_multiplier_bound(m),
+            MulConfig::Wallace(m) => wallace_bound(m),
+            MulConfig::Truncated(m) => truncated_bound(m),
+        }
+    }
+}
+
+/// The shared enumeration behind the full and prefiltered spaces: three
+/// families, fixed order, one entry per configuration.
+fn configurations(width: usize) -> Result<Vec<MulConfig>> {
+    let mut configs = Vec::new();
+
+    // Recursive family.
+    let sum_modes = [
+        SumMode::Accurate,
+        SumMode::ApproxLsbs { kind: FullAdderKind::Apx1, lsbs: 2 },
+        SumMode::ApproxLsbs { kind: FullAdderKind::Apx3, lsbs: 4 },
+        SumMode::ApproxLsbs { kind: FullAdderKind::Apx5, lsbs: 4 },
+    ];
+    for block in Mul2x2Kind::ALL {
+        for sum in sum_modes {
+            configs.push(MulConfig::Recursive(RecursiveMultiplier::new(width, block, sum)?));
+        }
+    }
+
+    // Wallace family (one exact baseline, then the approximate columns —
+    // cols = 0 collapses to the same design for every cell kind).
+    configs.push(MulConfig::Wallace(WallaceMultiplier::new(
+        width,
+        FullAdderKind::Accurate,
+        0,
+    )?));
+    for kind in [FullAdderKind::Apx2, FullAdderKind::Apx4, FullAdderKind::Apx5] {
+        for cols in [4usize, 8] {
+            configs.push(MulConfig::Wallace(WallaceMultiplier::new(width, kind, cols)?));
+        }
+    }
+
+    // Truncation family.
+    for dropped in [0usize, 2, 4, 6] {
+        for compensated in [false, true] {
+            if dropped == 0 && compensated {
+                continue;
+            }
+            configs.push(MulConfig::Truncated(TruncatedMultiplier::new(
+                width, dropped, compensated,
+            )?));
+        }
+    }
+
+    Ok(configs)
+}
+
+fn quality(m: &dyn Multiplier, samples: u64) -> ErrorStats {
     let w = m.width();
     if 2 * w <= 16 {
         exhaustive_binary(w, w, |a, b| a * b, |a, b| m.mul(a, b))
@@ -56,49 +144,89 @@ fn quality<M: Multiplier>(m: &M, samples: u64) -> ErrorStats {
 ///
 /// Propagates construction errors (invalid width).
 pub fn enumerate_multiplier_space(width: usize, samples: u64) -> Result<Vec<ComponentProfile>> {
-    let mut profiles = Vec::new();
+    configurations(width)?
+        .iter()
+        .map(|config| {
+            let m = config.as_multiplier();
+            Ok(ComponentProfile::new(m.name(), m.hw_cost(), quality(m, samples)))
+        })
+        .collect()
+}
 
-    // Recursive family.
-    let sum_modes = [
-        SumMode::Accurate,
-        SumMode::ApproxLsbs { kind: FullAdderKind::Apx1, lsbs: 2 },
-        SumMode::ApproxLsbs { kind: FullAdderKind::Apx3, lsbs: 4 },
-        SumMode::ApproxLsbs { kind: FullAdderKind::Apx5, lsbs: 4 },
-    ];
-    for block in Mul2x2Kind::ALL {
-        for sum in sum_modes {
-            let m = RecursiveMultiplier::new(width, block, sum)?;
-            profiles.push(ComponentProfile::new(m.name(), m.hw_cost(), quality(&m, samples)));
-        }
-    }
+/// A configuration seen through the static lens only: name, cost, and the
+/// `xlac-analysis` error bound — no simulation behind it.
+#[derive(Debug, Clone)]
+pub struct StaticPoint {
+    /// Configuration name.
+    pub name: String,
+    /// Static worst-case error bound (sound ceiling on any observed
+    /// error).
+    pub wce_bound: u128,
+    /// Static bound on the mean absolute error under uniform inputs.
+    pub mean_bound: f64,
+    /// Hardware cost.
+    pub cost: HwCost,
+}
 
-    // Wallace family (one exact baseline, then the approximate columns —
-    // cols = 0 collapses to the same design for every cell kind).
-    let exact_wallace = WallaceMultiplier::new(width, FullAdderKind::Accurate, 0)?;
-    profiles.push(ComponentProfile::new(
-        exact_wallace.name(),
-        exact_wallace.hw_cost(),
-        quality(&exact_wallace, samples),
-    ));
-    for kind in [FullAdderKind::Apx2, FullAdderKind::Apx4, FullAdderKind::Apx5] {
-        for cols in [4usize, 8] {
-            let m = WallaceMultiplier::new(width, kind, cols)?;
-            profiles.push(ComponentProfile::new(m.name(), m.hw_cost(), quality(&m, samples)));
-        }
-    }
+/// The outcome of the statically prefiltered enumeration.
+#[derive(Debug, Clone)]
+pub struct PrefilteredSpace {
+    /// Configurations on the static `(area, wce-bound)` Pareto frontier,
+    /// fully characterized by Monte-Carlo / exhaustive simulation.
+    pub evaluated: Vec<ComponentProfile>,
+    /// Configurations statically dominated before any simulation ran.
+    pub pruned: Vec<StaticPoint>,
+}
 
-    // Truncation family.
-    for dropped in [0usize, 2, 4, 6] {
-        for compensated in [false, true] {
-            if dropped == 0 && compensated {
-                continue;
+/// `true` when `b` dominates `a` on (area, wce-bound): no worse on both
+/// axes and strictly better on at least one.
+fn statically_dominated(a: &StaticPoint, b: &StaticPoint) -> bool {
+    b.cost.area_ge <= a.cost.area_ge
+        && b.wce_bound <= a.wce_bound
+        && (b.cost.area_ge < a.cost.area_ge || b.wce_bound < a.wce_bound)
+}
+
+/// Enumerates the multiplier space with the static error bounds as a
+/// pre-filter: every configuration gets a free `xlac-analysis` bound, the
+/// static `(area, worst-case-error)` Pareto frontier is computed from
+/// those bounds alone, and only frontier members are characterized by
+/// simulation. Because the static wce is a *sound* ceiling, a
+/// configuration dominated statically (someone else is cheaper **and**
+/// carries a smaller guaranteed-error ceiling) can never redeem itself
+/// under measurement on these axes — pruning it is safe, and the
+/// Monte-Carlo budget concentrates on genuine trade-off candidates.
+///
+/// # Errors
+///
+/// Propagates construction errors (invalid width).
+pub fn enumerate_multiplier_space_prefiltered(
+    width: usize,
+    samples: u64,
+) -> Result<PrefilteredSpace> {
+    let configs = configurations(width)?;
+    let points: Vec<StaticPoint> = configs
+        .iter()
+        .map(|config| {
+            let bound = config.bound();
+            StaticPoint {
+                name: config.as_multiplier().name(),
+                wce_bound: bound.wce(),
+                mean_bound: bound.mean_abs,
+                cost: config.as_multiplier().hw_cost(),
             }
-            let m = TruncatedMultiplier::new(width, dropped, compensated)?;
-            profiles.push(ComponentProfile::new(m.name(), m.hw_cost(), quality(&m, samples)));
+        })
+        .collect();
+    let mut evaluated = Vec::new();
+    let mut pruned = Vec::new();
+    for (config, point) in configs.iter().zip(&points) {
+        if points.iter().any(|other| statically_dominated(point, other)) {
+            pruned.push(point.clone());
+        } else {
+            let m = config.as_multiplier();
+            evaluated.push(ComponentProfile::new(m.name(), m.hw_cost(), quality(m, samples)));
         }
     }
-
-    Ok(profiles)
+    Ok(PrefilteredSpace { evaluated, pruned })
 }
 
 #[cfg(test)]
@@ -147,6 +275,42 @@ mod tests {
         assert!(frontier.len() < space.len(), "something must be dominated");
         // An exact design anchors the quality end of the frontier.
         assert!(frontier.iter().any(|p| p.quality.is_exact()));
+    }
+
+    #[test]
+    fn prefilter_partitions_the_space() {
+        let full = enumerate_multiplier_space(8, 10_000).unwrap();
+        let pre = enumerate_multiplier_space_prefiltered(8, 10_000).unwrap();
+        assert_eq!(pre.evaluated.len() + pre.pruned.len(), full.len());
+        assert!(!pre.pruned.is_empty(), "static pruning must bite");
+        assert!(!pre.evaluated.is_empty());
+        let full_names: Vec<&str> = full.iter().map(|p| p.name.as_str()).collect();
+        for p in pre.evaluated.iter().map(|p| p.name.as_str()) {
+            assert!(full_names.contains(&p), "{p} not in the full space");
+        }
+        // An exact design always survives (nothing can dominate wce 0 and
+        // minimal area simultaneously).
+        assert!(pre.evaluated.iter().any(|p| p.quality.is_exact()));
+    }
+
+    #[test]
+    fn pruned_designs_are_covered_by_an_evaluated_one() {
+        // Pareto dominance is transitive, so every pruned design must be
+        // dominated by a *frontier* member — and the frontier member's
+        // measured worst error is covered by its static wce, which in
+        // turn is no larger than the pruned design's bound. This is the
+        // soundness argument for skipping the pruned simulations.
+        let pre = enumerate_multiplier_space_prefiltered(8, 10_000).unwrap();
+        for pruned in &pre.pruned {
+            assert!(
+                pre.evaluated.iter().any(|e| {
+                    e.cost.area_ge <= pruned.cost.area_ge
+                        && (e.quality.max_error_distance as u128) <= pruned.wce_bound
+                }),
+                "{} pruned without a covering frontier member",
+                pruned.name
+            );
+        }
     }
 
     #[test]

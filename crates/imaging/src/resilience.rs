@@ -68,12 +68,10 @@ pub fn resilience_study(images: &[TestImage], cfg: StudyConfig) -> Result<Vec<Re
             let reference = accurate.apply(&src)?;
             let output = approximate.apply(&src)?;
             let score = ssim(&to_f64(&reference), &to_f64(&output))?;
-            let mad = reference
-                .iter()
-                .zip(output.iter())
-                .map(|(&a, &b)| a.abs_diff(b) as f64)
-                .sum::<f64>()
-                / reference.len() as f64;
+            let mad = xlac_quality::mae_pairs(
+                reference.iter().zip(output.iter()).map(|(&a, &b)| (a as f64, b as f64)),
+            )
+            .expect("rendered images are non-empty");
             Ok(ResilienceRow { image, ssim: score, mean_abs_diff: mad })
         })
         .collect()

@@ -61,6 +61,26 @@ impl GateKind {
         GateKind::Mux2,
     ];
 
+    /// Parses a Verilog primitive name (`not`, `buf`, `and`, `or`, `nand`,
+    /// `nor`, `xor`, `xnor`) back to a cell kind — the inverse of the
+    /// mapping used by [`crate::verilog`] emission. `Mux2` has no Verilog
+    /// primitive (it is emitted as a conditional assign) and is not
+    /// parseable here.
+    #[must_use]
+    pub fn from_verilog_primitive(name: &str) -> Option<GateKind> {
+        Some(match name {
+            "not" => GateKind::Not,
+            "buf" => GateKind::Buf,
+            "and" => GateKind::And2,
+            "or" => GateKind::Or2,
+            "nand" => GateKind::Nand2,
+            "nor" => GateKind::Nor2,
+            "xor" => GateKind::Xor2,
+            "xnor" => GateKind::Xnor2,
+            _ => return None,
+        })
+    }
+
     /// Number of data operands the cell consumes.
     #[must_use]
     pub fn arity(self) -> usize {
@@ -230,5 +250,23 @@ mod tests {
     fn display_names() {
         assert_eq!(GateKind::Xnor2.to_string(), "XNOR2");
         assert_eq!(GateKind::Mux2.to_string(), "MUX2");
+    }
+
+    #[test]
+    fn verilog_primitive_round_trip() {
+        for (name, kind) in [
+            ("not", GateKind::Not),
+            ("buf", GateKind::Buf),
+            ("and", GateKind::And2),
+            ("or", GateKind::Or2),
+            ("nand", GateKind::Nand2),
+            ("nor", GateKind::Nor2),
+            ("xor", GateKind::Xor2),
+            ("xnor", GateKind::Xnor2),
+        ] {
+            assert_eq!(GateKind::from_verilog_primitive(name), Some(kind));
+        }
+        assert_eq!(GateKind::from_verilog_primitive("mux"), None);
+        assert_eq!(GateKind::from_verilog_primitive("AND"), None);
     }
 }

@@ -52,7 +52,7 @@ pub use mul2x2::{ConfigurableMul2x2, Mul2x2Kind};
 pub use multi_bit::{RecursiveMultiplier, SumMode};
 pub use signed::SignedMultiplier;
 pub use truncated::TruncatedMultiplier;
-pub use wallace::WallaceMultiplier;
+pub use wallace::{CellPlacement, WallaceMultiplier};
 
 use xlac_core::characterization::HwCost;
 

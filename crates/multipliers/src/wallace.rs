@@ -31,6 +31,19 @@ use xlac_core::bits;
 use xlac_core::characterization::HwCost;
 use xlac_core::error::{Result, XlacError};
 
+/// One reduction-cell instantiation of a Wallace tree: which product
+/// column it reduces (bit weight `2^column`), whether the slot is a half
+/// adder (`cin` tied to 0), and the cell kind wired there.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellPlacement {
+    /// Product column index; the cell's sum lands at weight `2^column`.
+    pub column: usize,
+    /// `true` when the slot is a half adder (third input tied to 0).
+    pub half_adder: bool,
+    /// The full-adder kind reducing this slot.
+    pub kind: FullAdderKind,
+}
+
 /// A Wallace-tree multiplier whose `approx_cols` low columns reduce with
 /// an approximate full-adder kind.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -83,11 +96,27 @@ impl WallaceMultiplier {
         }
     }
 
+    /// The exact sequence of reduction-cell instantiations the tree uses.
+    /// Placement is input-independent (the schedule depends only on column
+    /// heights), so this is the structural netlist of the reduction stage —
+    /// the seed data for static error-bound analysis.
+    #[must_use]
+    pub fn cell_placements(&self) -> Vec<CellPlacement> {
+        let mut placements = Vec::new();
+        self.reduce(None, Some(&mut placements));
+        placements
+    }
+
     /// Runs the reduction, either on live bits (`Some(a, b)`) or purely
     /// structurally to count cells (`None`). Returns
     /// `(product, fa_count, ha_count)` where the counts are per-column
-    /// totals split into (approximate, accurate) pairs.
-    fn reduce(&self, operands: Option<(u64, u64)>) -> (u64, [usize; 2], [usize; 2]) {
+    /// totals split into (approximate, accurate) pairs. When `placements`
+    /// is given, every cell instantiation is recorded in schedule order.
+    fn reduce(
+        &self,
+        operands: Option<(u64, u64)>,
+        mut placements: Option<&mut Vec<CellPlacement>>,
+    ) -> (u64, [usize; 2], [usize; 2]) {
         let w = self.width;
         let cols = 2 * w;
         // columns[c] holds the live bits (or placeholder 0s in structural
@@ -121,6 +150,9 @@ impl WallaceMultiplier {
                         columns[c].push(s);
                         columns[c + 1].push(carry);
                         fa[slot] += 1;
+                        if let Some(rec) = placements.as_deref_mut() {
+                            rec.push(CellPlacement { column: c, half_adder: false, kind });
+                        }
                     }
                 }
                 // Pair off exactly-3→handled above; a half adder fires when
@@ -137,6 +169,9 @@ impl WallaceMultiplier {
                     columns[c].push(s);
                     columns[c + 1].push(carry);
                     ha[slot] += 1;
+                    if let Some(rec) = placements.as_deref_mut() {
+                        rec.push(CellPlacement { column: c, half_adder: true, kind });
+                    }
                 }
             }
             if !reduced {
@@ -168,7 +203,7 @@ impl Multiplier for WallaceMultiplier {
     fn mul(&self, a: u64, b: u64) -> u64 {
         let a = bits::truncate(a, self.width);
         let b = bits::truncate(b, self.width);
-        self.reduce(Some((a, b))).0
+        self.reduce(Some((a, b)), None).0
     }
 
     fn name(&self) -> String {
@@ -180,7 +215,7 @@ impl Multiplier for WallaceMultiplier {
     }
 
     fn hw_cost(&self) -> HwCost {
-        let (_, fa, ha) = self.reduce(None);
+        let (_, fa, ha) = self.reduce(None, None);
         let and_gate = HwCost { area_ge: 1.33, power_nw: 60.0, delay: 1.5 };
         let partials = and_gate * (self.width * self.width) as f64;
         let approx_cell = self.kind.hw_cost();
@@ -270,10 +305,27 @@ mod tests {
     #[test]
     fn structural_pass_matches_live_pass_cell_counts() {
         let m = WallaceMultiplier::new(8, FullAdderKind::Apx2, 5).unwrap();
-        let (_, fa_a, ha_a) = m.reduce(None);
-        let (_, fa_b, ha_b) = m.reduce(Some((123, 231)));
+        let (_, fa_a, ha_a) = m.reduce(None, None);
+        let (_, fa_b, ha_b) = m.reduce(Some((123, 231)), None);
         assert_eq!(fa_a, fa_b, "cell placement is input-independent");
         assert_eq!(ha_a, ha_b);
+    }
+
+    #[test]
+    fn cell_placements_agree_with_reduction_counts() {
+        let m = WallaceMultiplier::new(8, FullAdderKind::Apx2, 5).unwrap();
+        let placements = m.cell_placements();
+        let (_, fa, ha) = m.reduce(None, None);
+        let fa_total = placements.iter().filter(|p| !p.half_adder).count();
+        let ha_total = placements.iter().filter(|p| p.half_adder).count();
+        assert_eq!(fa_total, fa[0] + fa[1]);
+        assert_eq!(ha_total, ha[0] + ha[1]);
+        // Approximate cells sit exactly in the approximated columns.
+        for p in &placements {
+            assert_eq!(p.kind.is_accurate(), p.column >= 5, "column {}", p.column);
+        }
+        // Every placement stays within the 2w product columns.
+        assert!(placements.iter().all(|p| p.column < 16));
     }
 
     #[test]

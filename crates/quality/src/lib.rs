@@ -52,12 +52,7 @@ pub fn mse(a: &Grid<f64>, b: &Grid<f64>) -> Result<f64> {
 ///
 /// Same conditions as [`mse`].
 pub fn psnr(a: &Grid<f64>, b: &Grid<f64>) -> Result<f64> {
-    let e = mse(a, b)?;
-    if e == 0.0 {
-        Ok(f64::INFINITY)
-    } else {
-        Ok(10.0 * ((255.0 * 255.0) / e).log10())
-    }
+    Ok(psnr_from_mse(mse(a, b)?))
 }
 
 /// Mean absolute error between two equally-shaped images.
@@ -69,6 +64,53 @@ pub fn mae(a: &Grid<f64>, b: &Grid<f64>) -> Result<f64> {
     check_shapes(a, b)?;
     let n = a.len() as f64;
     Ok(a.iter().zip(b.iter()).map(|(x, y)| (x - y).abs()).sum::<f64>() / n)
+}
+
+/// PSNR in dB from an already-computed MSE (dynamic range 255).
+///
+/// Zero MSE yields `f64::INFINITY`; callers that need a finite cap can
+/// apply `.min(cap)`. This is the single PSNR formula shared by the
+/// imaging, video and analysis paths.
+#[must_use]
+pub fn psnr_from_mse(mse: f64) -> f64 {
+    if mse == 0.0 {
+        f64::INFINITY
+    } else {
+        10.0 * ((255.0 * 255.0) / mse).log10()
+    }
+}
+
+/// Mean squared error over paired samples from any iterator (for callers
+/// whose data is not in a [`Grid`], e.g. streaming video frames).
+///
+/// Returns `None` when the iterator is empty.
+pub fn mse_pairs<I>(pairs: I) -> Option<f64>
+where
+    I: IntoIterator<Item = (f64, f64)>,
+{
+    let mut sum = 0.0f64;
+    let mut n = 0usize;
+    for (x, y) in pairs {
+        sum += (x - y) * (x - y);
+        n += 1;
+    }
+    (n > 0).then(|| sum / n as f64)
+}
+
+/// Mean absolute error over paired samples from any iterator.
+///
+/// Returns `None` when the iterator is empty.
+pub fn mae_pairs<I>(pairs: I) -> Option<f64>
+where
+    I: IntoIterator<Item = (f64, f64)>,
+{
+    let mut sum = 0.0f64;
+    let mut n = 0usize;
+    for (x, y) in pairs {
+        sum += (x - y).abs();
+        n += 1;
+    }
+    (n > 0).then(|| sum / n as f64)
 }
 
 /// SSIM parameters (the Wang et al. reference constants).
@@ -200,6 +242,19 @@ mod tests {
         let b = a.map(|v| v + 1.0);
         let p = psnr(&a, &b).unwrap();
         assert!((p - 48.1308).abs() < 1e-3, "psnr {p}");
+    }
+
+    #[test]
+    fn pair_helpers_agree_with_grid_metrics() {
+        let a = ramp(16, 16);
+        let b = a.map(|v| (v * 0.75 + 5.0).min(255.0));
+        let pairs = || a.iter().zip(b.iter()).map(|(x, y)| (*x, *y));
+        assert!((mse_pairs(pairs()).unwrap() - mse(&a, &b).unwrap()).abs() < 1e-12);
+        assert!((mae_pairs(pairs()).unwrap() - mae(&a, &b).unwrap()).abs() < 1e-12);
+        assert!(mse_pairs(std::iter::empty()).is_none());
+        assert!(mae_pairs(std::iter::empty()).is_none());
+        assert!(psnr_from_mse(0.0).is_infinite());
+        assert!((psnr_from_mse(1.0) - 48.1308).abs() < 1e-3);
     }
 
     #[test]

@@ -138,16 +138,13 @@ impl Encoder {
                 None => self.encode_intra(frame)?,
                 Some(prev) => self.encode_inter(frame, prev)?,
             };
-            let mse = frame
-                .iter()
-                .zip(recon.iter())
-                .map(|(&a, &b)| {
-                    let d = a as f64 - b as f64;
-                    d * d
-                })
-                .sum::<f64>()
-                / frame.len() as f64;
-            psnr_sum += if mse == 0.0 { 99.0 } else { 10.0 * (255.0f64 * 255.0 / mse).log10() };
+            let mse = xlac_quality::mse_pairs(
+                frame.iter().zip(recon.iter()).map(|(&a, &b)| (a as f64, b as f64)),
+            )
+            .expect("frames are non-empty");
+            // Lossless frames cap at 99 dB rather than going infinite so
+            // the sequence average stays finite.
+            psnr_sum += xlac_quality::psnr_from_mse(mse).min(99.0);
             frame_bits.push(bits);
             reconstructed = Some(recon);
         }

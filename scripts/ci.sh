@@ -8,7 +8,11 @@
 #   2. the full test suite;
 #   3. clippy, when the component is installed (optional — toolchains
 #      without it skip the step rather than fail);
-#   4. a smoke run of the micro-benchmarks (XLAC_BENCH_QUICK) so bench
+#   4. xlac-lint: static error-bound validation + netlist lint over all
+#      built-in configs and hdl/ (DESIGN.md §9) — any error-severity
+#      diagnostic or unsound bound fails the gate;
+#   5. rustdoc with warnings as errors (broken intra-doc links etc.);
+#   6. a smoke run of the micro-benchmarks (XLAC_BENCH_QUICK) so bench
 #      bit-rot is caught without spending minutes measuring.
 #
 # Any failing step exits non-zero immediately (set -e).
@@ -35,6 +39,12 @@ if cargo clippy --version >/dev/null 2>&1; then
 else
     echo "==> cargo clippy not installed; skipping lint step"
 fi
+
+echo "==> xlac-lint (static bounds + netlist lint)"
+cargo run -q --release -p xlac-analysis --offline --bin xlac-lint -- --samples 100000
+
+echo "==> cargo doc (offline, warnings as errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc -q --workspace --no-deps --offline
 
 echo "==> bench smoke run (XLAC_BENCH_QUICK=1)"
 XLAC_BENCH_QUICK=1 cargo bench -q -p xlac-bench --offline >/dev/null

@@ -20,6 +20,8 @@
 //! * [`video`] / [`imaging`] — the HEVC-style motion-estimation case study
 //!   (Fig.8/Fig.9) and the SSIM data-resilience study (Fig.10).
 //! * [`explore`] — design-space exploration (Table IV / Fig.4).
+//! * [`analysis`] — static error-bound propagation and netlist lint
+//!   (the `xlac-lint` CI gate); see `DESIGN.md` §9.
 //! * [`quality`], [`core`] — metrics and shared foundations.
 //!
 //! # Quickstart
@@ -48,6 +50,7 @@
 
 pub use xlac_accel as accel;
 pub use xlac_adders as adders;
+pub use xlac_analysis as analysis;
 pub use xlac_core as core;
 pub use xlac_explore as explore;
 pub use xlac_imaging as imaging;

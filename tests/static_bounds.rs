@@ -1,0 +1,198 @@
+//! Soundness of the `xlac-analysis` static error bounds against ground
+//! truth: exhaustive sweeps where the operand space fits, and seeded
+//! property-based sampling (the `xlac_core::check` harness) where it
+//! does not. The contract under test is `DESIGN.md` §9: for every
+//! shipped configuration the static worst-case bound dominates every
+//! error the hardware can actually produce.
+
+use xlac::adders::{Adder, FullAdderKind, GeArAdder, RippleCarryAdder};
+use xlac::analysis::components::{
+    gear_adder_bound, recursive_multiplier_bound, ripple_adder_bound, truncated_bound,
+    wallace_bound,
+};
+use xlac::analysis::validate::run_all_checks;
+use xlac::core::bits;
+use xlac::core::check::{check, DefaultRng, Rng};
+use xlac::multipliers::{
+    Mul2x2Kind, Multiplier, RecursiveMultiplier, SumMode, TruncatedMultiplier, WallaceMultiplier,
+};
+use xlac_core::prop_assert;
+
+/// Absolute error of an approximate sum against `a + b`.
+fn adder_error(approx: u64, a: u64, b: u64) -> u128 {
+    u128::from(approx).abs_diff(u128::from(a) + u128::from(b))
+}
+
+#[test]
+fn every_eight_bit_gear_config_is_exhaustively_bounded() {
+    // All valid multi-sub-adder (R, P) points at N = 8, every operand
+    // pair. The bound must also be *attained* when P = 0 (the classic
+    // worst-case formula is exact there).
+    let mut tested = 0usize;
+    for r in 1usize..8 {
+        for p in 0usize..8 {
+            let l = r + p;
+            if l >= 8 || !(8 - l).is_multiple_of(r) {
+                continue;
+            }
+            let gear = GeArAdder::new(8, r, p).unwrap();
+            let bound = gear_adder_bound(&gear);
+            let mut max_err = 0u128;
+            let mut rate = 0u64;
+            for a in 0..256u64 {
+                for b in 0..256u64 {
+                    let approx = Adder::add(&gear, a, b);
+                    let err = adder_error(approx, a, b);
+                    max_err = max_err.max(err);
+                    rate += u64::from(err != 0);
+                    // GeAr only under-estimates; `over` must stay 0.
+                    assert!(u128::from(approx) <= u128::from(a + b), "R{r}P{p}");
+                }
+            }
+            assert!(max_err <= bound.wce(), "R{r}P{p}: {max_err} > {}", bound.wce());
+            assert!(
+                f64::from(u32::try_from(rate).unwrap()) / 65536.0
+                    <= bound.error_rate_bound + 1e-9,
+                "R{r}P{p}: rate"
+            );
+            if p == 0 {
+                assert_eq!(max_err, bound.wce(), "R{r}P0 must attain the bound");
+            }
+            tested += 1;
+        }
+    }
+    assert!(tested >= 6, "expected several valid 8-bit configs, got {tested}");
+}
+
+#[test]
+fn every_four_bit_multiplier_composition_is_exhaustively_bounded() {
+    // 4×4 recursive multipliers: every 2×2 block kind crossed with every
+    // summation mode, exhaustively over all 256 operand pairs.
+    let sum_modes = [
+        SumMode::Accurate,
+        SumMode::ApproxLsbs { kind: FullAdderKind::Apx2, lsbs: 2 },
+        SumMode::ApproxLsbs { kind: FullAdderKind::Apx5, lsbs: 4 },
+    ];
+    for kind in Mul2x2Kind::ALL {
+        for mode in sum_modes {
+            let m = RecursiveMultiplier::new(4, kind, mode).unwrap();
+            let bound = recursive_multiplier_bound(&m);
+            let mut max_err = 0u128;
+            for a in 0..16u64 {
+                for b in 0..16u64 {
+                    max_err = max_err.max(u128::from(m.mul(a, b).abs_diff(a * b)));
+                }
+            }
+            assert!(
+                max_err <= bound.wce(),
+                "{kind:?}/{mode:?}: observed {max_err} > bound {}",
+                bound.wce()
+            );
+            if kind == Mul2x2Kind::Accurate && mode == SumMode::Accurate {
+                assert!(bound.is_exact(), "accurate composition must be exact");
+            }
+        }
+    }
+}
+
+#[test]
+fn eight_bit_multiplier_bounds_hold_under_sampling() {
+    // 8×8 compositions across all three families, driven by the seeded
+    // property harness (shrinking + replayable failures).
+    check(
+        "eight_bit_multiplier_bounds_hold_under_sampling",
+        |rng: &mut DefaultRng| (rng.gen_range(0..9usize), rng.gen::<u64>(), rng.gen::<u64>()),
+        |&(which, a, b)| {
+            if which >= 9 {
+                return Ok(());
+            }
+            let (a, b) = (bits::truncate(a, 8), bits::truncate(b, 8));
+            let (approx, wce): (u64, u128) = match which {
+                0..=2 => {
+                    let kind = [Mul2x2Kind::Accurate, Mul2x2Kind::ApxSoA, Mul2x2Kind::ApxOur]
+                        [which];
+                    let m = RecursiveMultiplier::new(
+                        8,
+                        kind,
+                        SumMode::ApproxLsbs { kind: FullAdderKind::Apx2, lsbs: 2 },
+                    )
+                    .unwrap();
+                    (m.mul(a, b), recursive_multiplier_bound(&m).wce())
+                }
+                3..=5 => {
+                    let (kind, cols) = [
+                        (FullAdderKind::Apx2, 4),
+                        (FullAdderKind::Apx4, 8),
+                        (FullAdderKind::Apx5, 8),
+                    ][which - 3];
+                    let m = WallaceMultiplier::new(8, kind, cols).unwrap();
+                    (m.mul(a, b), wallace_bound(&m).wce())
+                }
+                _ => {
+                    let (k, comp) = [(2, false), (4, true), (6, true)][which - 6];
+                    let m = TruncatedMultiplier::new(8, k, comp).unwrap();
+                    (m.mul(a, b), truncated_bound(&m).wce())
+                }
+            };
+            let err = u128::from(approx.abs_diff(a * b));
+            prop_assert!(err <= wce, "family {} at {}x{}: {} > {}", which, a, b, err, wce);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn ripple_adder_bounds_hold_under_sampling() {
+    // Approximate-LSB ripple adders at random widths, kinds and depths.
+    check(
+        "ripple_adder_bounds_hold_under_sampling",
+        |rng: &mut DefaultRng| {
+            (
+                rng.gen_range(0..FullAdderKind::APPROXIMATE.len()),
+                rng.gen_range(4..=12usize),
+                rng.gen_range(0..=6usize),
+                rng.gen::<u64>(),
+                rng.gen::<u64>(),
+            )
+        },
+        |&(kind_idx, width, lsbs, a, b)| {
+            if kind_idx >= FullAdderKind::APPROXIMATE.len() || !(4..=12).contains(&width) {
+                return Ok(());
+            }
+            let kind = FullAdderKind::APPROXIMATE[kind_idx];
+            let rca = RippleCarryAdder::with_approx_lsbs(width, kind, lsbs.min(width)).unwrap();
+            let bound = ripple_adder_bound(&rca);
+            let (a, b) = (bits::truncate(a, width), bits::truncate(b, width));
+            let err = adder_error(rca.add(a, b), a, b);
+            prop_assert!(
+                err <= bound.wce(),
+                "{} w{} l{}: {} > {}",
+                kind,
+                width,
+                lsbs,
+                err,
+                bound.wce()
+            );
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn full_check_suite_reports_sound_at_reduced_sampling() {
+    // The library's own validation sweep (the same one `xlac-lint` runs
+    // in CI) must be sound end to end. Reduced sample count keeps the
+    // tier-1 wall-clock in budget; CI runs the full count.
+    let checks = run_all_checks(20_000).unwrap();
+    assert!(checks.len() >= 40, "expected a broad sweep, got {}", checks.len());
+    for c in &checks {
+        assert!(
+            c.is_sound(),
+            "{}: bound {:?} vs observed over {} under {}",
+            c.name,
+            c.bound,
+            c.observed_over,
+            c.observed_under
+        );
+    }
+}
