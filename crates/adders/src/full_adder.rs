@@ -109,6 +109,34 @@ impl FullAdderKind {
         (u64::from(s), u64::from(c))
     }
 
+    /// Evaluates the cell on 64 independent lanes at once (bit-sliced
+    /// form): bit `j` of each word is the value of that input/output in
+    /// lane `j`, so one call performs 64 full-adder evaluations.
+    ///
+    /// Each arm is the boolean-algebra form of the cell's Table III truth
+    /// table; an exhaustive unit test pins it to [`FullAdderKind::eval`].
+    #[inline]
+    #[must_use]
+    pub fn eval_x64(self, a: u64, b: u64, cin: u64) -> (u64, u64) {
+        match self {
+            FullAdderKind::Accurate => {
+                let axb = a ^ b;
+                (axb ^ cin, (a & b) | (axb & cin))
+            }
+            FullAdderKind::Apx1 => (cin & !(a ^ b), b | (a & cin)),
+            FullAdderKind::Apx2 => {
+                let c = (a & b) | (a & cin) | (b & cin);
+                (!c, c)
+            }
+            FullAdderKind::Apx3 => {
+                let c = b | (a & cin);
+                (!c, c)
+            }
+            FullAdderKind::Apx4 => (cin & !(a & !b), a),
+            FullAdderKind::Apx5 => (b, a),
+        }
+    }
+
     /// The cell's truth table, inputs packed `a | b<<1 | cin<<2`, outputs
     /// packed `sum | cout<<1` (the packing used by the netlist flow).
     #[must_use]
@@ -268,6 +296,31 @@ mod tests {
             let total = a + b + cin;
             assert_eq!(s, total & 1);
             assert_eq!(c, total >> 1);
+        }
+    }
+
+    #[test]
+    fn eval_x64_matches_the_truth_table_on_every_lane_pattern() {
+        // All 8 scalar input combinations, broadcast through the 64-lane
+        // form by packing each combination into the lane that equals its
+        // index modulo 8 — covers every lane position and combination.
+        for kind in FullAdderKind::ALL {
+            let mut a = 0u64;
+            let mut b = 0u64;
+            let mut cin = 0u64;
+            for lane in 0..64u64 {
+                let x = lane % 8;
+                a |= (x >> 2 & 1) << lane;
+                b |= (x >> 1 & 1) << lane;
+                cin |= (x & 1) << lane;
+            }
+            let (s, c) = kind.eval_x64(a, b, cin);
+            for lane in 0..64u64 {
+                let (es, ec) =
+                    kind.eval((a >> lane) & 1, (b >> lane) & 1, (cin >> lane) & 1);
+                assert_eq!((s >> lane) & 1, es, "{kind} sum lane {lane}");
+                assert_eq!((c >> lane) & 1, ec, "{kind} carry lane {lane}");
+            }
         }
     }
 

@@ -49,7 +49,7 @@
 //! # }
 //! ```
 
-use crate::adder::Adder;
+use crate::adder::{Adder, AdderX64};
 use crate::full_adder::FullAdderKind;
 use xlac_core::bits;
 use xlac_core::characterization::HwCost;
@@ -73,6 +73,34 @@ pub struct AddOutcome {
     pub errors_detected: usize,
     /// Correction passes executed (0 for plain [`GeArAdder::add`]).
     pub correction_iterations: usize,
+}
+
+/// The result of a 64-lane bit-sliced GeAr addition.
+///
+/// `value` is an `N + 1`-plane bit-plane vector (`xlac_core::lanes`
+/// layout); the detection/correction counters are tracked per lane.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AddOutcomeX64 {
+    /// The `N + 1`-bit sums of all 64 lanes, as bit-planes.
+    pub value: Vec<u64>,
+    /// Per-lane count of sub-adders whose detection fired in the final
+    /// evaluation.
+    pub errors_detected: [u8; 64],
+    /// Per-lane correction passes executed.
+    pub correction_iterations: [u8; 64],
+}
+
+impl AddOutcomeX64 {
+    /// Extracts one lane as a scalar [`AddOutcome`] — the bridge the
+    /// differential tests use to compare against [`GeArAdder::add`].
+    #[must_use]
+    pub fn lane(&self, lane: usize) -> AddOutcome {
+        AddOutcome {
+            value: xlac_core::lanes::lane(&self.value, lane),
+            errors_detected: usize::from(self.errors_detected[lane]),
+            correction_iterations: usize::from(self.correction_iterations[lane]),
+        }
+    }
 }
 
 impl GeArAdder {
@@ -280,6 +308,121 @@ impl GeArAdder {
         (sum, detected)
     }
 
+    /// Bit-sliced [`GeArAdder::add`]: 64 independent additions per call.
+    ///
+    /// Operands are bit-plane batches in the `xlac_core::lanes` layout;
+    /// see [`AddOutcomeX64`] for the per-lane result extraction.
+    #[must_use]
+    pub fn add_x64(&self, a: &[u64], b: &[u64]) -> AddOutcomeX64 {
+        self.run_x64(a, b, 0)
+    }
+
+    /// Bit-sliced [`GeArAdder::add_with_correction`].
+    ///
+    /// The recovery loop is evaluated per lane: each pass injects carries
+    /// only into sub-adders of lanes whose detection fired and whose own
+    /// iteration count is still below `max_iterations`, so every lane
+    /// reproduces the scalar outcome exactly (lanes that finish early are
+    /// untouched by later passes — their injections no longer change).
+    #[must_use]
+    pub fn add_with_correction_x64(
+        &self,
+        a: &[u64],
+        b: &[u64],
+        max_iterations: usize,
+    ) -> AddOutcomeX64 {
+        self.run_x64(a, b, max_iterations)
+    }
+
+    fn run_x64(&self, a: &[u64], b: &[u64], max_iterations: usize) -> AddOutcomeX64 {
+        let k = self.sub_adder_count();
+        // Per-sub-adder lane masks of injected carries (index 0 unused).
+        let mut inject = vec![0u64; k];
+        let mut iters = [0usize; 64];
+
+        loop {
+            let (value, detected) = self.evaluate_x64(a, b, &inject);
+            let pending: u64 = detected.iter().fold(0, |m, &d| m | d);
+            // Lanes already at their iteration budget keep their result.
+            let mut frozen = 0u64;
+            for (lane, &it) in iters.iter().enumerate() {
+                if it >= max_iterations {
+                    frozen |= 1 << lane;
+                }
+            }
+            let active = pending & !frozen;
+            if active == 0 {
+                let mut errors = [0u8; 64];
+                for d in &detected {
+                    let mut bits = *d;
+                    while bits != 0 {
+                        let lane = bits.trailing_zeros() as usize;
+                        errors[lane] += 1;
+                        bits &= bits - 1;
+                    }
+                }
+                let mut iterations = [0u8; 64];
+                for (out, &it) in iterations.iter_mut().zip(&iters) {
+                    *out = u8::try_from(it.min(k)).expect("GeAr passes bounded by k <= 63");
+                }
+                return AddOutcomeX64 { value, errors_detected: errors, correction_iterations: iterations };
+            }
+            for (s, d) in detected.iter().enumerate() {
+                inject[s] |= d & active;
+            }
+            let mut bits = active;
+            while bits != 0 {
+                let lane = bits.trailing_zeros() as usize;
+                iters[lane] += 1;
+                bits &= bits - 1;
+            }
+        }
+    }
+
+    /// One bit-sliced combinational evaluation: the 64-lane counterpart
+    /// of `evaluate`, with each sub-adder window summed by an exact
+    /// bit-sliced ripple and the detection condition computed as a lane
+    /// mask `prev_carry_out & propagate(P window) & !injected`.
+    fn evaluate_x64(&self, a: &[u64], b: &[u64], inject: &[u64]) -> (Vec<u64>, Vec<u64>) {
+        let r = self.r;
+        let p = self.p;
+        let l = self.l();
+        let k = self.sub_adder_count();
+        let plane = |planes: &[u64], i: usize| planes.get(i).copied().unwrap_or(0);
+
+        let mut sum = vec![0u64; self.n + 1];
+        let mut detected = vec![0u64; k];
+        let mut window = vec![0u64; l];
+        let mut prev_carry_out = 0u64;
+
+        for (s, d) in detected.iter_mut().enumerate() {
+            let lo = s * r;
+            let mut carry = inject[s];
+            for (i, w) in window.iter_mut().enumerate() {
+                let ai = plane(a, lo + i);
+                let bi = plane(b, lo + i);
+                let axb = ai ^ bi;
+                *w = axb ^ carry;
+                carry = (ai & bi) | (axb & carry);
+            }
+            let carry_out = carry;
+
+            if s == 0 {
+                sum[..l].copy_from_slice(&window);
+            } else {
+                let mut prop = u64::MAX;
+                for i in 0..p {
+                    prop &= plane(a, lo + i) ^ plane(b, lo + i);
+                }
+                *d = prev_carry_out & prop & !inject[s];
+                sum[lo + p..lo + p + r].copy_from_slice(&window[p..p + r]);
+            }
+            prev_carry_out = carry_out;
+        }
+        sum[self.n] = prev_carry_out;
+        (sum, detected)
+    }
+
     /// Like [`GeArAdder::add`], but also returns the bit offsets at which
     /// the detectors flagged a missing carry (offset `s·R + P` for each
     /// detected sub-adder `s`). These detection signals are what the
@@ -324,6 +467,12 @@ impl GeArAdder {
     #[must_use]
     pub fn worst_case_error(&self) -> u64 {
         (1..self.sub_adder_count()).map(|s| 1u64 << (s * self.r + self.p)).sum()
+    }
+}
+
+impl AdderX64 for GeArAdder {
+    fn add_x64(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
+        GeArAdder::add_x64(self, a, b).value
     }
 }
 

@@ -57,12 +57,12 @@ pub mod ripple;
 pub mod soa;
 pub mod subtractor;
 
-pub use adder::{AccurateAdder, Adder};
+pub use adder::{AccurateAdder, Adder, AdderX64};
 pub use cla::CarryLookaheadAdder;
 pub use divider::ArrayDivider;
 pub use error_model::GearErrorModel;
 pub use full_adder::FullAdderKind;
-pub use gear::{AddOutcome, GeArAdder};
+pub use gear::{AddOutcome, AddOutcomeX64, GeArAdder};
 pub use ripple::RippleCarryAdder;
 pub use soa::{LoaAdder, TruncatedAdder};
 pub use subtractor::Subtractor;

@@ -23,7 +23,7 @@
 //! # }
 //! ```
 
-use crate::adder::Adder;
+use crate::adder::{plane, Adder, AdderX64};
 use crate::full_adder::FullAdderKind;
 use xlac_core::bits;
 use xlac_core::characterization::HwCost;
@@ -91,6 +91,40 @@ impl RippleCarryAdder {
     #[must_use]
     pub fn approx_cell_count(&self) -> usize {
         self.cells.iter().filter(|c| !c.is_accurate()).count()
+    }
+}
+
+impl RippleCarryAdder {
+    /// The allocation-free core of [`AdderX64::add_x64`]: ripples into a
+    /// caller-provided buffer of exactly `width() + 1` planes (carry-out
+    /// last). Hot paths (the recursive multiplier, `xlac-sim` sweeps) use
+    /// this with stack buffers.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `out.len() != width() + 1`.
+    #[inline]
+    pub fn add_x64_into(&self, a: &[u64], b: &[u64], out: &mut [u64]) {
+        let w = self.cells.len();
+        assert_eq!(out.len(), w + 1, "output buffer must hold width + 1 planes");
+        let mut carry = 0u64;
+        for (i, cell) in self.cells.iter().enumerate() {
+            let (s, c) = cell.eval_x64(plane(a, i), plane(b, i), carry);
+            out[i] = s;
+            carry = c;
+        }
+        out[w] = carry;
+    }
+}
+
+impl AdderX64 for RippleCarryAdder {
+    /// Bit-sliced ripple: the same LSB→MSB cell walk as
+    /// [`RippleCarryAdder::add`], with each cell evaluated on 64 lanes at
+    /// once via [`FullAdderKind::eval_x64`].
+    fn add_x64(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
+        let mut out = vec![0u64; self.cells.len() + 1];
+        self.add_x64_into(a, b, &mut out);
+        out
     }
 }
 

@@ -1,0 +1,185 @@
+//! Bit-plane packing for 64-lane bit-sliced simulation.
+//!
+//! Bit-sliced (pattern-parallel) evaluation packs **64 independent input
+//! vectors** into one `u64` word per circuit net: bit `j` of the word is
+//! the value of that net in lane `j`. A bitwise `AND` on lane words then
+//! evaluates 64 AND gates at once, which is how `xlac-sim` reaches its
+//! throughput.
+//!
+//! A multi-bit operand batch is a *bit-plane* vector: `planes[i]` holds
+//! bit `i` of all 64 lane values. These helpers transpose between the
+//! value-per-lane and plane-per-bit representations; the layout invariant
+//! used across the workspace is
+//!
+//! ```text
+//! planes[i] >> j & 1  ==  values[j] >> i & 1
+//! ```
+//!
+//! # Example
+//!
+//! ```
+//! use xlac_core::lanes::{from_planes, to_planes, LANES};
+//!
+//! let mut values = [0u64; LANES];
+//! for (j, v) in values.iter_mut().enumerate() {
+//!     *v = (j as u64).wrapping_mul(0x9E37) & 0xFF;
+//! }
+//! let planes = to_planes(&values, 8);
+//! assert_eq!(planes.len(), 8);
+//! assert_eq!(from_planes(&planes), values);
+//! ```
+
+/// Number of parallel lanes in one bit-sliced word (`u64::BITS`).
+pub const LANES: usize = 64;
+
+/// Transposes 64 lane values into `width` bit-planes.
+///
+/// Bits of `values[j]` at positions `>= width` are ignored (the planes
+/// represent a `width`-bit operand batch, matching the hardware's
+/// truncate-on-input semantics).
+#[inline]
+#[must_use]
+pub fn to_planes(values: &[u64; LANES], width: usize) -> Vec<u64> {
+    let mut planes = vec![0u64; width];
+    // Lane-major order keeps each value in a register while its bits
+    // scatter into the (L1-resident) plane array.
+    for (j, &v) in values.iter().enumerate() {
+        for (i, plane) in planes.iter_mut().enumerate() {
+            *plane |= ((v >> i) & 1) << j;
+        }
+    }
+    planes
+}
+
+/// Transposes bit-planes back into 64 lane values.
+///
+/// Inverse of [`to_planes`] for any plane count `<= 64`.
+///
+/// # Panics
+///
+/// Panics when more than 64 planes are supplied (the lane values would
+/// not fit a `u64`).
+#[inline]
+#[must_use]
+pub fn from_planes(planes: &[u64]) -> [u64; LANES] {
+    assert!(planes.len() <= 64, "{} planes exceed a u64 lane value", planes.len());
+    let mut values = [0u64; LANES];
+    for (i, plane) in planes.iter().enumerate() {
+        for (j, v) in values.iter_mut().enumerate() {
+            *v |= ((plane >> j) & 1) << i;
+        }
+    }
+    values
+}
+
+/// Extracts the value of one lane from a plane vector.
+///
+/// # Panics
+///
+/// Panics when `lane >= 64` or more than 64 planes are supplied.
+#[inline]
+#[must_use]
+pub fn lane(planes: &[u64], lane: usize) -> u64 {
+    assert!(lane < LANES, "lane {lane} out of range");
+    assert!(planes.len() <= 64, "{} planes exceed a u64 lane value", planes.len());
+    let mut value = 0u64;
+    for (i, plane) in planes.iter().enumerate() {
+        value |= ((plane >> lane) & 1) << i;
+    }
+    value
+}
+
+/// Broadcasts one constant to all 64 lanes as a `width`-plane vector:
+/// plane `i` is all-ones when bit `i` of `value` is set, zero otherwise.
+#[inline]
+#[must_use]
+pub fn const_planes(value: u64, width: usize) -> Vec<u64> {
+    (0..width).map(|i| if (value >> i) & 1 == 1 { u64::MAX } else { 0 }).collect()
+}
+
+/// Applies a lane permutation: returns planes where lane `j` holds the
+/// value that `perm[j]` held in the input.
+///
+/// Used by the lane-independence property tests: a bit-sliced evaluator
+/// must commute with any lane permutation, because lanes never interact.
+///
+/// # Panics
+///
+/// Panics when `perm` is not a permutation of `0..64`.
+#[must_use]
+pub fn permute_lanes(planes: &[u64], perm: &[usize; LANES]) -> Vec<u64> {
+    let mut seen = [false; LANES];
+    for &p in perm {
+        assert!(p < LANES && !seen[p], "perm is not a permutation of 0..64");
+        seen[p] = true;
+    }
+    planes
+        .iter()
+        .map(|plane| {
+            let mut word = 0u64;
+            for (j, &src) in perm.iter().enumerate() {
+                word |= ((plane >> src) & 1) << j;
+            }
+            word
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::{DefaultRng, Rng};
+
+    #[test]
+    fn roundtrip_is_identity() {
+        let mut rng = DefaultRng::seed_from_u64(7);
+        for width in [1usize, 4, 8, 16, 23, 64] {
+            let mut values = [0u64; LANES];
+            rng.fill_u64(&mut values);
+            let masked = values.map(|v| if width == 64 { v } else { v & ((1 << width) - 1) });
+            let planes = to_planes(&masked, width);
+            assert_eq!(from_planes(&planes), masked, "width {width}");
+            for (j, &m) in masked.iter().enumerate() {
+                assert_eq!(lane(&planes, j), m, "width {width} lane {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn to_planes_truncates_wide_values() {
+        let mut values = [0u64; LANES];
+        values[3] = 0x1F5;
+        let planes = to_planes(&values, 8);
+        assert_eq!(lane(&planes, 3), 0xF5);
+    }
+
+    #[test]
+    fn const_planes_broadcasts() {
+        let planes = const_planes(0b1010_0110, 8);
+        let values = from_planes(&planes);
+        assert!(values.iter().all(|&v| v == 0b1010_0110));
+    }
+
+    #[test]
+    fn permute_lanes_permutes_values() {
+        let mut rng = DefaultRng::seed_from_u64(11);
+        let mut values = [0u64; LANES];
+        rng.fill_u64(&mut values);
+        let planes = to_planes(&values, 64);
+
+        let mut perm: [usize; LANES] = std::array::from_fn(|i| i);
+        rng.shuffle(&mut perm);
+        let permuted = permute_lanes(&planes, &perm);
+        let got = from_planes(&permuted);
+        for j in 0..LANES {
+            assert_eq!(got[j], values[perm[j]]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn permute_lanes_rejects_duplicates() {
+        let perm = [0usize; LANES];
+        let _ = permute_lanes(&[0u64; 4], &perm);
+    }
+}

@@ -9,6 +9,9 @@
 //!   widths, so these helpers appear everywhere.
 //! * [`grid`] — a dense row-major 2-D array, [`grid::Grid`], used for images,
 //!   video frames and SAD search surfaces.
+//! * [`lanes`] — 64-lane bit-plane packing (transpose between
+//!   value-per-lane and plane-per-bit layouts) for the bit-sliced
+//!   simulation engine in `xlac-sim`.
 //! * [`metrics`] — error statistics ([`metrics::ErrorStats`]) for comparing
 //!   an approximate operator against its exact reference: error rate, mean /
 //!   max error distance, mean relative error distance, and helpers to gather
@@ -50,6 +53,7 @@ pub mod characterization;
 pub mod check;
 pub mod error;
 pub mod grid;
+pub mod lanes;
 pub mod metrics;
 pub mod rng;
 pub mod taxonomy;

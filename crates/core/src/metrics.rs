@@ -69,43 +69,11 @@ impl ErrorStats {
     /// treat that as an error instead).
     #[must_use]
     pub fn from_pairs<I: IntoIterator<Item = (u64, u64)>>(pairs: I) -> Self {
-        let mut samples = 0u64;
-        let mut error_count = 0u64;
-        let mut sum_dist = 0.0f64;
-        let mut sum_signed = 0.0f64;
-        let mut sum_rel = 0.0f64;
-        let mut max_dist = 0u64;
-        let mut distinct = BTreeSet::new();
-        let mut saturated = false;
-
+        let mut acc = ErrorAccumulator::new();
         for (exact, approx) in pairs {
-            samples += 1;
-            let dist = exact.abs_diff(approx);
-            if dist != 0 {
-                error_count += 1;
-                if !saturated {
-                    distinct.insert(dist);
-                    saturated = distinct.len() >= Self::MAX_DISTINCT;
-                }
-            }
-            sum_dist += dist as f64;
-            sum_signed += approx as f64 - exact as f64;
-            sum_rel += dist as f64 / (exact.max(1)) as f64;
-            max_dist = max_dist.max(dist);
+            acc.push(exact, approx);
         }
-
-        let n = samples.max(1) as f64;
-        ErrorStats {
-            samples,
-            error_count,
-            error_rate: error_count as f64 / n,
-            mean_error_distance: sum_dist / n,
-            max_error_distance: max_dist,
-            mean_signed_error: sum_signed / n,
-            mean_relative_error: sum_rel / n,
-            distinct_error_values: distinct,
-            distinct_saturated: saturated,
-        }
+        acc.finish()
     }
 
     /// Like [`ErrorStats::from_pairs`] but rejects an empty input.
@@ -133,6 +101,162 @@ impl ErrorStats {
     #[must_use]
     pub fn is_exact(&self) -> bool {
         self.error_count == 0
+    }
+}
+
+/// A mergeable, streaming collector of the [`ErrorStats`] figures.
+///
+/// [`ErrorStats::from_pairs`] consumes one stream in one pass; parallel
+/// sweeps (the `xlac-sim` chunked runner) instead accumulate one
+/// `ErrorAccumulator` per chunk and [`merge`](ErrorAccumulator::merge)
+/// the partials **in chunk order**. Because floating-point accumulation
+/// is order-sensitive, merging in a fixed order makes the final figures
+/// bitwise-identical for any worker-thread count.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ErrorAccumulator {
+    samples: u64,
+    error_count: u64,
+    sum_dist: f64,
+    sum_signed: f64,
+    sum_rel: f64,
+    max_dist: u64,
+    distinct: DistinctSet,
+    saturated: bool,
+}
+
+/// A bounded set of distinct nonzero error magnitudes, stored as an
+/// open-addressing probe table (lazily allocated, fixed at
+/// `2 · MAX_DISTINCT` slots so the load factor never exceeds ½).
+///
+/// Error-spectrum collection sits on the per-sample hot path of every
+/// Monte-Carlo sweep; a linear-probe table keeps membership checks at one
+/// multiply and (usually) one cache line, where a `BTreeSet` insert costs
+/// an allocating tree walk. `0` is the empty-slot sentinel — magnitudes
+/// are nonzero by construction. The sorted view is built once, in
+/// [`ErrorAccumulator::finish`].
+#[derive(Debug, Clone, Default, PartialEq)]
+struct DistinctSet {
+    table: Vec<u64>,
+    len: usize,
+}
+
+impl DistinctSet {
+    const SLOTS: usize = 2 * ErrorStats::MAX_DISTINCT;
+
+    /// Inserts a nonzero magnitude; returns `true` when it was new.
+    /// Callers stop inserting at `MAX_DISTINCT` entries, so the table
+    /// never exceeds half load and probing terminates.
+    #[inline]
+    fn insert(&mut self, dist: u64) -> bool {
+        debug_assert_ne!(dist, 0);
+        if self.table.is_empty() {
+            self.table = vec![0u64; Self::SLOTS];
+        }
+        let mut i = (dist.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 51) as usize;
+        loop {
+            match self.table[i] {
+                0 => {
+                    self.table[i] = dist;
+                    self.len += 1;
+                    return true;
+                }
+                slot if slot == dist => return false,
+                _ => i = (i + 1) % Self::SLOTS,
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        self.table.iter().copied().filter(|&d| d != 0)
+    }
+
+    fn to_sorted(&self) -> BTreeSet<u64> {
+        self.iter().collect()
+    }
+}
+
+impl ErrorAccumulator {
+    /// An empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of pairs pushed so far.
+    #[must_use]
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Records one `(exact, approximate)` pair.
+    #[inline]
+    pub fn push(&mut self, exact: u64, approx: u64) {
+        self.samples += 1;
+        let dist = exact.abs_diff(approx);
+        if dist == 0 {
+            // An exact sample adds literal zero to every remaining figure
+            // (`x + 0.0 == x` bitwise for the non-negative sums kept here),
+            // so the early return leaves all results bit-identical.
+            return;
+        }
+        self.error_count += 1;
+        if !self.saturated && self.distinct.insert(dist) {
+            self.saturated = self.distinct.len() >= ErrorStats::MAX_DISTINCT;
+        }
+        let d = dist as f64;
+        self.sum_dist += d;
+        // `|values| < 2^53` throughout this workspace, so ±(dist as f64)
+        // equals `approx as f64 - exact as f64` bit-for-bit (and is the
+        // more accurate form beyond that range).
+        self.sum_signed += if approx >= exact { d } else { -d };
+        self.sum_rel += d / (exact.max(1)) as f64;
+        self.max_dist = self.max_dist.max(dist);
+    }
+
+    /// Folds another accumulator into this one.
+    ///
+    /// Merging partials in a fixed (e.g. chunk-index) order yields
+    /// deterministic floating-point sums independent of which thread
+    /// produced which partial.
+    pub fn merge(&mut self, other: &ErrorAccumulator) {
+        self.samples += other.samples;
+        self.error_count += other.error_count;
+        self.sum_dist += other.sum_dist;
+        self.sum_signed += other.sum_signed;
+        self.sum_rel += other.sum_rel;
+        self.max_dist = self.max_dist.max(other.max_dist);
+        if !self.saturated {
+            for d in other.distinct.iter() {
+                self.distinct.insert(d);
+                if self.distinct.len() >= ErrorStats::MAX_DISTINCT {
+                    self.saturated = true;
+                    break;
+                }
+            }
+        }
+        // If either side stopped collecting, the union may be incomplete.
+        self.saturated |= other.saturated;
+    }
+
+    /// Finalizes the accumulated figures into [`ErrorStats`].
+    #[must_use]
+    pub fn finish(&self) -> ErrorStats {
+        let n = self.samples.max(1) as f64;
+        ErrorStats {
+            samples: self.samples,
+            error_count: self.error_count,
+            error_rate: self.error_count as f64 / n,
+            mean_error_distance: self.sum_dist / n,
+            max_error_distance: self.max_dist,
+            mean_signed_error: self.sum_signed / n,
+            mean_relative_error: self.sum_rel / n,
+            distinct_error_values: self.distinct.to_sorted(),
+            distinct_saturated: self.saturated,
+        }
     }
 }
 

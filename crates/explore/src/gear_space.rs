@@ -98,6 +98,53 @@ pub fn enumerate_gear_space(n: usize) -> Result<Vec<GearDesignPoint>> {
     Ok(points)
 }
 
+/// A GeAr design point paired with Monte-Carlo-measured error statistics
+/// from the bit-sliced simulation engine.
+#[derive(Debug, Clone)]
+pub struct MeasuredGearPoint {
+    /// The analytically scored design point.
+    pub point: GearDesignPoint,
+    /// Measured accuracy percentage: `100 · (1 − error rate)` over the
+    /// sweep — the empirical counterpart of
+    /// [`GearDesignPoint::accuracy_percent`].
+    pub measured_accuracy_percent: f64,
+    /// Full measured error statistics.
+    pub stats: xlac_core::metrics::ErrorStats,
+}
+
+/// Measures every point of [`enumerate_gear_space`] with a Monte-Carlo
+/// sweep on the bit-sliced engine (`xlac-sim`): `trials` uniform operand
+/// pairs per point, split deterministically across `threads` workers
+/// (`0` → auto). Results are bitwise-identical for any thread count.
+///
+/// This is the simulation-backed validation of the Table IV analytical
+/// accuracy column: `measured_accuracy_percent` converges on
+/// `accuracy_percent` as `trials` grows.
+///
+/// # Errors
+///
+/// Propagates invalid-width errors from the adder constructor.
+pub fn measure_gear_space(
+    n: usize,
+    trials: u64,
+    seed: u64,
+    threads: usize,
+) -> Result<Vec<MeasuredGearPoint>> {
+    enumerate_gear_space(n)?
+        .into_iter()
+        .map(|point| {
+            let adder = point.adder()?;
+            let opts = xlac_sim::SweepOptions::new(trials, seed).threads(threads);
+            let stats = xlac_sim::gear_sweep(&adder, None, &opts).stats;
+            Ok(MeasuredGearPoint {
+                measured_accuracy_percent: 100.0 * (1.0 - stats.error_rate),
+                point,
+                stats,
+            })
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -149,6 +196,33 @@ mod tests {
                 pt.accuracy_percent,
                 truth
             );
+        }
+    }
+
+    #[test]
+    fn measured_space_tracks_the_analytical_model() {
+        let measured = measure_gear_space(8, 20_000, 0x6EA5, 0).unwrap();
+        assert_eq!(measured.len(), enumerate_gear_space(8).unwrap().len());
+        for m in &measured {
+            assert_eq!(m.stats.samples, 20_000);
+            // The analytical accuracy model is exact; 20k uniform trials
+            // land within a few percentage points of it.
+            assert!(
+                (m.measured_accuracy_percent - m.point.accuracy_percent).abs() < 3.0,
+                "{}: measured {} vs model {}",
+                m.point.label(),
+                m.measured_accuracy_percent,
+                m.point.accuracy_percent
+            );
+        }
+    }
+
+    #[test]
+    fn measured_space_is_thread_count_invariant() {
+        let one = measure_gear_space(8, 4_096, 7, 1).unwrap();
+        let eight = measure_gear_space(8, 4_096, 7, 8).unwrap();
+        for (a, b) in one.iter().zip(&eight) {
+            assert_eq!(a.stats, b.stats, "{}", a.point.label());
         }
     }
 

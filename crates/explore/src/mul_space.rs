@@ -40,12 +40,13 @@ use xlac_analysis::bound::ErrorBound;
 use xlac_analysis::components::{recursive_multiplier_bound, truncated_bound, wallace_bound};
 use xlac_core::characterization::HwCost;
 use xlac_core::error::Result;
-use xlac_core::metrics::{exhaustive_binary, sampled_binary, ErrorStats};
+use xlac_core::metrics::{exhaustive_binary, ErrorStats};
 use xlac_core::ComponentProfile;
 use xlac_multipliers::{
-    Mul2x2Kind, Multiplier, RecursiveMultiplier, SumMode, TruncatedMultiplier, WallaceMultiplier,
+    Mul2x2Kind, Multiplier, MultiplierX64, RecursiveMultiplier, SumMode, TruncatedMultiplier,
+    WallaceMultiplier,
 };
-use xlac_core::rng::DefaultRng;
+use xlac_sim::{multiplier_sweep, SweepOptions};
 
 /// One multiplier configuration, kept as its concrete family type so the
 /// static bound can be computed without simulation at construction time.
@@ -57,6 +58,14 @@ enum MulConfig {
 
 impl MulConfig {
     fn as_multiplier(&self) -> &dyn Multiplier {
+        match self {
+            MulConfig::Recursive(m) => m,
+            MulConfig::Wallace(m) => m,
+            MulConfig::Truncated(m) => m,
+        }
+    }
+
+    fn as_multiplier_x64(&self) -> &dyn MultiplierX64 {
         match self {
             MulConfig::Recursive(m) => m,
             MulConfig::Wallace(m) => m,
@@ -119,13 +128,16 @@ fn configurations(width: usize) -> Result<Vec<MulConfig>> {
     Ok(configs)
 }
 
-fn quality(m: &dyn Multiplier, samples: u64) -> ErrorStats {
+fn quality(config: &MulConfig, samples: u64) -> ErrorStats {
+    let m = config.as_multiplier();
     let w = m.width();
     if 2 * w <= 16 {
         exhaustive_binary(w, w, |a, b| a * b, |a, b| m.mul(a, b))
     } else {
-        let mut rng = DefaultRng::seed_from_u64(0x3113);
-        sampled_binary(w, w, samples, &mut rng, |a, b| a * b, |a, b| m.mul(a, b))
+        // Beyond exhaustive reach, the Monte-Carlo budget runs through the
+        // bit-sliced engine: 64 trials per arithmetic pass, deterministic
+        // for any worker count (`xlac-sim`'s chunked runner).
+        multiplier_sweep(config.as_multiplier_x64(), &SweepOptions::new(samples, 0x3113))
     }
 }
 
@@ -148,7 +160,7 @@ pub fn enumerate_multiplier_space(width: usize, samples: u64) -> Result<Vec<Comp
         .iter()
         .map(|config| {
             let m = config.as_multiplier();
-            Ok(ComponentProfile::new(m.name(), m.hw_cost(), quality(m, samples)))
+            Ok(ComponentProfile::new(m.name(), m.hw_cost(), quality(config, samples)))
         })
         .collect()
 }
@@ -223,7 +235,7 @@ pub fn enumerate_multiplier_space_prefiltered(
             pruned.push(point.clone());
         } else {
             let m = config.as_multiplier();
-            evaluated.push(ComponentProfile::new(m.name(), m.hw_cost(), quality(m, samples)));
+            evaluated.push(ComponentProfile::new(m.name(), m.hw_cost(), quality(config, samples)));
         }
     }
     Ok(PrefilteredSpace { evaluated, pruned })

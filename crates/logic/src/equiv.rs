@@ -58,20 +58,21 @@ pub fn check_equivalence(a: &Netlist, b: &Netlist) -> Result<Option<u64>> {
     }
     let total = 1u64 << n;
     let mut base = 0u64;
+    // Reused evaluation buffers — the sweep allocates nothing per word.
+    let mut words = vec![0u64; n];
+    let (mut vals_a, mut vals_b) = (Vec::new(), Vec::new());
+    let (mut outs_a, mut outs_b) = (Vec::new(), Vec::new());
     while base < total {
         let lanes = (total - base).min(64) as usize;
         // Lane l carries input assignment base + l.
-        let words: Vec<u64> = (0..n)
-            .map(|i| {
-                let mut w = 0u64;
-                for l in 0..lanes {
-                    w |= (((base + l as u64) >> i) & 1) << l;
-                }
-                w
-            })
-            .collect();
-        let outs_a = a.eval_words(&words);
-        let outs_b = b.eval_words(&words);
+        for (i, w) in words.iter_mut().enumerate() {
+            *w = 0;
+            for l in 0..lanes {
+                *w |= (((base + l as u64) >> i) & 1) << l;
+            }
+        }
+        a.eval_words_into(&words, &mut vals_a, &mut outs_a);
+        b.eval_words_into(&words, &mut vals_b, &mut outs_b);
         let lane_mask = if lanes >= 64 { u64::MAX } else { (1u64 << lanes) - 1 };
         let mut diff = 0u64;
         for (wa, wb) in outs_a.iter().zip(&outs_b) {

@@ -318,17 +318,34 @@ impl Netlist {
     /// Panics if `inputs.len() != self.n_inputs()`.
     #[must_use]
     pub fn eval_words(&self, inputs: &[u64]) -> Vec<u64> {
+        let mut values = Vec::new();
+        let mut outputs = Vec::new();
+        self.eval_words_into(inputs, &mut values, &mut outputs);
+        outputs
+    }
+
+    /// Allocation-free variant of [`Netlist::eval_words`] for hot loops
+    /// (equivalence checking, switching-power estimation): per-gate values
+    /// land in `values` and the output words in `outputs`, both resized as
+    /// needed so callers can reuse the buffers across calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != self.n_inputs()`.
+    pub fn eval_words_into(&self, inputs: &[u64], values: &mut Vec<u64>, outputs: &mut Vec<u64>) {
         assert_eq!(inputs.len(), self.n_inputs, "expected {} input words", self.n_inputs);
-        let mut values = vec![0u64; self.gates.len()];
+        values.clear();
+        values.resize(self.gates.len(), 0);
         let mut ops: Vec<u64> = Vec::with_capacity(3);
-        for (i, g) in self.gates.iter().enumerate() {
+        for i in 0..self.gates.len() {
             ops.clear();
-            for s in &g.fanin {
-                ops.push(self.resolve(*s, inputs, &values));
+            for s in &self.gates[i].fanin {
+                ops.push(self.resolve(*s, inputs, values));
             }
-            values[i] = g.kind.eval_word(&ops);
+            values[i] = self.gates[i].kind.eval_word(&ops);
         }
-        self.outputs.iter().map(|s| self.resolve(*s, inputs, &values)).collect()
+        outputs.clear();
+        outputs.extend(self.outputs.iter().map(|s| self.resolve(*s, inputs, values)));
     }
 
     #[inline]
@@ -356,37 +373,38 @@ impl Netlist {
         assert!(vectors >= 2, "need at least two vectors to observe toggles");
         let mut rng = DefaultRng::seed_from_u64(seed);
         let mut toggles = vec![0u64; self.gates.len()];
-        let mut prev: Option<Vec<u64>> = None;
         let mut applied = 0usize;
 
         // Process vectors in 64-pattern words; count toggles between
-        // consecutive lanes and across word boundaries.
+        // consecutive lanes and across word boundaries. All buffers are
+        // reused across words (`eval_words_into`): the loop allocates
+        // nothing after the first iteration.
+        let mut input_words = vec![0u64; self.n_inputs];
+        let mut values: Vec<u64> = Vec::new();
+        let mut prev: Vec<u64> = Vec::new();
+        let mut outputs: Vec<u64> = Vec::new();
+        let mut have_prev = false;
         while applied < vectors {
             let lanes = (vectors - applied).min(64);
-            let input_words: Vec<u64> =
-                (0..self.n_inputs).map(|_| rng.gen::<u64>() & lane_mask(lanes)).collect();
-            let mut values = vec![0u64; self.gates.len()];
-            let mut ops: Vec<u64> = Vec::with_capacity(3);
-            for (i, g) in self.gates.iter().enumerate() {
-                ops.clear();
-                for s in &g.fanin {
-                    ops.push(self.resolve(*s, &input_words, &values));
-                }
-                values[i] = g.kind.eval_word(&ops) & lane_mask(lanes);
+            for w in input_words.iter_mut() {
+                *w = rng.gen::<u64>() & lane_mask(lanes);
             }
-            for (i, v) in values.iter().enumerate() {
+            self.eval_words_into(&input_words, &mut values, &mut outputs);
+            for (i, v) in values.iter_mut().enumerate() {
+                *v &= lane_mask(lanes);
                 // Toggles between adjacent lanes within the word.
-                let shifted = v >> 1;
-                let within = (v ^ shifted) & lane_mask(lanes.saturating_sub(1));
+                let shifted = *v >> 1;
+                let within = (*v ^ shifted) & lane_mask(lanes.saturating_sub(1));
                 toggles[i] += u64::from(within.count_ones());
                 // Toggle across the word boundary: a full predecessor word
                 // always carries 64 lanes, so its last lane is bit 63.
-                if let Some(p) = &prev {
-                    let last = (p[i] >> 63) & 1;
-                    toggles[i] += (last ^ (v & 1)) & 1;
+                if have_prev {
+                    let last = (prev[i] >> 63) & 1;
+                    toggles[i] += (last ^ (*v & 1)) & 1;
                 }
             }
-            prev = Some(values);
+            std::mem::swap(&mut prev, &mut values);
+            have_prev = true;
             applied += lanes;
         }
 

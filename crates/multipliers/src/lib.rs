@@ -81,6 +81,32 @@ pub trait Multiplier {
     }
 }
 
+/// Bit-sliced 64-lane companion to [`Multiplier`].
+///
+/// Operand batches are bit-plane vectors (`xlac_core::lanes` layout):
+/// `a[i]` holds bit `i` of all 64 lane values; missing planes read as
+/// zero and planes at index `>= width` are ignored (the truncate-on-input
+/// semantics of [`Multiplier::mul`]). The result has exactly `2 × width`
+/// planes, and for every lane `j`
+///
+/// ```text
+/// lanes::lane(&m.mul_x64(&a, &b), j) == m.mul(lanes::lane(&a, j), lanes::lane(&b, j))
+/// ```
+///
+/// `Sync` is a supertrait so `dyn MultiplierX64` instances can be shared
+/// across the `xlac-sim` sweep threads.
+pub trait MultiplierX64: Multiplier + Sync {
+    /// Multiplies two `width`-bit 64-lane operand batches, returning
+    /// `2 × width` product planes.
+    fn mul_x64(&self, a: &[u64], b: &[u64]) -> Vec<u64>;
+}
+
+impl<T: MultiplierX64 + ?Sized> MultiplierX64 for &T {
+    fn mul_x64(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
+        (**self).mul_x64(a, b)
+    }
+}
+
 impl<T: Multiplier + ?Sized> Multiplier for &T {
     fn width(&self) -> usize {
         (**self).width()

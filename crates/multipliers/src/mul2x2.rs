@@ -76,6 +76,38 @@ impl Mul2x2Kind {
         }
     }
 
+    /// Evaluates the 2×2 block on 64 independent lanes at once: each
+    /// argument is one operand *bit* across 64 lanes and the result is
+    /// the four product bit-planes `[p0, p1, p2, p3]`.
+    ///
+    /// Each arm is the gate structure of the Fig.5 design (the same gates
+    /// as [`Mul2x2Kind::netlist`]); the differential tests pin every lane
+    /// to [`Mul2x2Kind::mul`].
+    #[inline]
+    #[must_use]
+    pub fn mul_x64(self, a0: u64, a1: u64, b0: u64, b1: u64) -> [u64; 4] {
+        match self {
+            Mul2x2Kind::Accurate => {
+                let t1 = a1 & b0;
+                let t2 = a0 & b1;
+                let c = t1 & t2;
+                let p11 = a1 & b1;
+                [a0 & b0, t1 ^ t2, p11 ^ c, p11 & c]
+            }
+            Mul2x2Kind::ApxSoA => [a0 & b0, (a1 & b0) | (a0 & b1), a1 & b1, 0],
+            Mul2x2Kind::ApxOur => {
+                // Accurate structure with the a0·b0 gate deleted and the
+                // MSB (set only for 3×3) wired to the LSB position too.
+                let t1 = a1 & b0;
+                let t2 = a0 & b1;
+                let c = t1 & t2;
+                let p11 = a1 & b1;
+                let p3 = p11 & c;
+                [p3, t1 ^ t2, p11 ^ c, p3]
+            }
+        }
+    }
+
     /// The design's truth table (4 inputs `a0 a1 b0 b1`, 4 outputs).
     #[must_use]
     pub fn truth_table(self) -> TruthTable {

@@ -31,8 +31,7 @@
 //! ```
 
 use crate::mul2x2::Mul2x2Kind;
-use crate::Multiplier;
-use std::collections::HashMap;
+use crate::{Multiplier, MultiplierX64};
 use xlac_adders::{Adder, FullAdderKind, RippleCarryAdder};
 use xlac_core::bits;
 use xlac_core::characterization::HwCost;
@@ -59,8 +58,8 @@ pub struct RecursiveMultiplier {
     width: usize,
     block: Mul2x2Kind,
     sum: SumMode,
-    /// Pre-built summation adders keyed by width.
-    adders: HashMap<usize, RippleCarryAdder>,
+    /// Pre-built summation adders for widths 4..=2·width, index `log2(w) - 2`.
+    adders: Vec<RippleCarryAdder>,
 }
 
 impl RecursiveMultiplier {
@@ -75,10 +74,10 @@ impl RecursiveMultiplier {
         if !(2..=32).contains(&width) || !width.is_power_of_two() {
             return Err(XlacError::InvalidWidth { width, max: 32 });
         }
-        let mut adders = HashMap::new();
+        let mut adders = Vec::new();
         let mut w = 4usize;
         while w <= 2 * width {
-            adders.insert(w, Self::build_adder(w, sum)?);
+            adders.push(Self::build_adder(w, sum)?);
             w *= 2;
         }
         Ok(RecursiveMultiplier { width, block, sum, adders })
@@ -106,7 +105,9 @@ impl RecursiveMultiplier {
     }
 
     fn adder(&self, width: usize) -> &RippleCarryAdder {
-        self.adders.get(&width).expect("adders pre-built for every level")
+        // Levels are the powers of two 4..=2·width; index by log2 so the
+        // hot recursion avoids a hash probe per summation.
+        &self.adders[width.trailing_zeros() as usize - 2]
     }
 
     fn mul_rec(&self, w: usize, a: u64, b: u64) -> u64 {
@@ -126,6 +127,122 @@ impl RecursiveMultiplier {
         let mid = self.adder(w).add(p_lh, p_hl);
         // …and one 2w-bit add to merge them in at offset h.
         self.adder(2 * w).add(outer, mid << h)
+    }
+
+    /// Bit-sliced mirror of `mul_rec`: identical recursion, identical OR
+    /// concatenation (including the stray-carry plane overlap at plane
+    /// `w`), identical adder truncation — writes `2w + 1` planes into
+    /// `out`. Operands must hold exactly `w` planes (the public entry
+    /// normalizes); all scratch lives on the stack, so a full product
+    /// evaluation performs no heap allocation.
+    fn mul_rec_x64_into(&self, w: usize, a: &[u64], b: &[u64], out: &mut [u64]) {
+        debug_assert_eq!(a.len(), w);
+        debug_assert_eq!(b.len(), w);
+        debug_assert_eq!(out.len(), 2 * w + 1);
+        if w == 2 {
+            let p = self.block.mul_x64(a[0], a[1], b[0], b[1]);
+            out[..4].copy_from_slice(&p);
+            out[4] = 0;
+            return;
+        }
+        if w == 4 {
+            return self.mul4_x64_into(a, b, out);
+        }
+        if w == 8 {
+            return self.mul8_x64_into(a, b, out);
+        }
+        let h = w / 2;
+        let (al, ah) = a.split_at(h);
+        let (bl, bh) = b.split_at(h);
+        // Sub-products carry 2h + 1 = w + 1 ≤ 33 planes (width ≤ 32).
+        let mut p_ll = [0u64; 33];
+        let mut p_lh = [0u64; 33];
+        let mut p_hl = [0u64; 33];
+        let mut p_hh = [0u64; 33];
+        self.mul_rec_x64_into(h, al, bl, &mut p_ll[..w + 1]);
+        self.mul_rec_x64_into(h, al, bh, &mut p_lh[..w + 1]);
+        self.mul_rec_x64_into(h, ah, bl, &mut p_hl[..w + 1]);
+        self.mul_rec_x64_into(h, ah, bh, &mut p_hh[..w + 1]);
+        // outer = p_ll | (p_hh << w): the stray-carry plane of p_ll (index
+        // w) overlaps plane 0 of the shifted p_hh as a bitwise OR, exactly
+        // like the scalar concatenation.
+        let mut outer = [0u64; 65];
+        outer[..=w].copy_from_slice(&p_ll[..=w]);
+        for i in 0..=w {
+            outer[w + i] |= p_hh[i];
+        }
+        // The w-bit adder truncates its operands to w planes (dropping the
+        // sub-products' stray carries), as does the scalar datapath.
+        let mut mid = [0u64; 33];
+        self.adder(w).add_x64_into(&p_lh[..w], &p_hl[..w], &mut mid[..w + 1]);
+        let mut mid_shifted = [0u64; 64];
+        mid_shifted[h..h + w + 1].copy_from_slice(&mid[..w + 1]);
+        self.adder(2 * w).add_x64_into(&outer[..2 * w], &mid_shifted[..2 * w], out);
+    }
+
+    /// `w = 4` level of `mul_rec_x64_into` with exact-size stack buffers:
+    /// the sub-products are 2×2 blocks directly, so the whole level is
+    /// straight-line code. Same structure, same stray-carry overlap, same
+    /// adder truncation as the generic path.
+    fn mul4_x64_into(&self, a: &[u64], b: &[u64], out: &mut [u64]) {
+        debug_assert_eq!(out.len(), 9);
+        let p_ll = self.block.mul_x64(a[0], a[1], b[0], b[1]);
+        let p_lh = self.block.mul_x64(a[0], a[1], b[2], b[3]);
+        let p_hl = self.block.mul_x64(a[2], a[3], b[0], b[1]);
+        let p_hh = self.block.mul_x64(a[2], a[3], b[2], b[3]);
+        // The 2×2 base never produces a stray plane-4 carry, so
+        // outer = p_ll | (p_hh << 4) is a plain concatenation here.
+        let mut outer = [0u64; 8];
+        outer[..4].copy_from_slice(&p_ll);
+        outer[4..].copy_from_slice(&p_hh);
+        let mut mid = [0u64; 5];
+        self.adder(4).add_x64_into(&p_lh, &p_hl, &mut mid);
+        let mut mid_shifted = [0u64; 8];
+        mid_shifted[2..7].copy_from_slice(&mid);
+        self.adder(8).add_x64_into(&outer, &mid_shifted, out);
+    }
+
+    /// `w = 8` level of `mul_rec_x64_into` with exact-size stack buffers.
+    fn mul8_x64_into(&self, a: &[u64], b: &[u64], out: &mut [u64]) {
+        debug_assert_eq!(out.len(), 17);
+        let (al, ah) = a.split_at(4);
+        let (bl, bh) = b.split_at(4);
+        let mut p_ll = [0u64; 9];
+        let mut p_lh = [0u64; 9];
+        let mut p_hl = [0u64; 9];
+        let mut p_hh = [0u64; 9];
+        self.mul4_x64_into(al, bl, &mut p_ll);
+        self.mul4_x64_into(al, bh, &mut p_lh);
+        self.mul4_x64_into(ah, bl, &mut p_hl);
+        self.mul4_x64_into(ah, bh, &mut p_hh);
+        // outer = p_ll | (p_hh << 8), stray plane 8 of p_ll overlapping
+        // plane 0 of the shifted p_hh — exactly the generic path.
+        let mut outer = [0u64; 17];
+        outer[..9].copy_from_slice(&p_ll);
+        for i in 0..9 {
+            outer[8 + i] |= p_hh[i];
+        }
+        let mut mid = [0u64; 9];
+        self.adder(8).add_x64_into(&p_lh[..8], &p_hl[..8], &mut mid);
+        let mut mid_shifted = [0u64; 16];
+        mid_shifted[4..13].copy_from_slice(&mid);
+        self.adder(16).add_x64_into(&outer[..16], &mid_shifted, out);
+    }
+}
+
+impl MultiplierX64 for RecursiveMultiplier {
+    fn mul_x64(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
+        let w = self.width;
+        // Normalize to exactly `w` operand planes: missing planes read as
+        // zero, extra planes are ignored (truncate-on-input semantics).
+        let mut na = [0u64; 32];
+        let mut nb = [0u64; 32];
+        na[..w.min(a.len())].copy_from_slice(&a[..w.min(a.len())]);
+        nb[..w.min(b.len())].copy_from_slice(&b[..w.min(b.len())]);
+        let mut product = [0u64; 65];
+        self.mul_rec_x64_into(w, &na[..w], &nb[..w], &mut product[..2 * w + 1]);
+        // The stray top-level carry plane is dropped, as in `mul`.
+        product[..2 * w].to_vec()
     }
 }
 

@@ -1,0 +1,53 @@
+//! # xlac-sim — the bit-sliced 64-way simulation engine
+//!
+//! Every 1-bit cell in the workspace (the Table III full adders, the
+//! Fig.5 2×2 multiplier blocks) is a small boolean function, so 64
+//! independent evaluations fit in one set of `u64` word operations: lane
+//! `j` of every word holds test vector `j`, and plane `i` holds bit `i`
+//! of all 64 vectors (`xlac_core::lanes` layout). The `*_x64` evaluators
+//! on [`xlac_adders`], [`xlac_multipliers`] and [`xlac_accel`] compose
+//! those word-level cells into full ripple chains, GeAr correction loops,
+//! recursive/Wallace/truncated multipliers and accelerator datapaths —
+//! bit-exact with the scalar golden models on every lane, ~an order of
+//! magnitude faster per trial.
+//!
+//! This crate supplies the machinery that turns those evaluators into
+//! Monte-Carlo *sweeps*:
+//!
+//! * [`runner`] — a chunked multi-threaded sweep runner whose results are
+//!   **bitwise-identical for any worker count**: chunk RNG streams are
+//!   split off the parent sequentially before any thread runs, and chunk
+//!   results merge in chunk-index order.
+//! * [`sweeps`] — error-sweep drivers for multipliers, GeAr adders
+//!   (with and without the error-correction loop) and the SAD
+//!   accelerator, each with a scalar twin evaluating identical operands
+//!   through the golden models.
+//!
+//! # Example
+//!
+//! ```
+//! use xlac_multipliers::{Mul2x2Kind, RecursiveMultiplier, SumMode};
+//! use xlac_sim::{multiplier_sweep, multiplier_sweep_scalar, SweepOptions};
+//!
+//! # fn main() -> Result<(), xlac_core::XlacError> {
+//! let m = RecursiveMultiplier::new(8, Mul2x2Kind::ApxSoA, SumMode::Accurate)?;
+//! let opts = SweepOptions::new(10_000, 42);
+//! let sliced = multiplier_sweep(&m, &opts);
+//! // The scalar twin sees the same operands: equal by construction.
+//! assert_eq!(sliced, multiplier_sweep_scalar(&m, &opts));
+//! assert_eq!(sliced.samples, 10_000);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod runner;
+pub mod sweeps;
+
+pub use runner::{default_threads, run_chunks, DEFAULT_CHUNK};
+pub use sweeps::{
+    gear_sweep, gear_sweep_scalar, multiplier_sweep, multiplier_sweep_scalar, sad_sweep,
+    sad_sweep_scalar, GearSweepResult, SadSweepResult, SweepOptions,
+};

@@ -1,0 +1,117 @@
+//! The deterministic chunked sweep runner.
+//!
+//! Monte-Carlo sweeps are split into fixed-size **chunks** of trials.
+//! Each chunk gets its own RNG, derived from the parent stream by
+//! [`Xoshiro256StarStar::split`] *sequentially, before any worker thread
+//! runs* — so the mapping `chunk index → random stream` is a pure
+//! function of `(seed, chunk size)` and never depends on which thread
+//! happens to pick the chunk up. Workers pull chunk indices from an
+//! atomic counter, store each chunk's result in its own slot, and the
+//! caller folds the slots **in chunk-index order**. Floating-point
+//! accumulation order is therefore fixed, making every sweep
+//! bitwise-identical for any worker count (the property
+//! `tests/determinism.rs` locks in).
+//!
+//! [`Xoshiro256StarStar::split`]: xlac_core::rng::Xoshiro256StarStar::split
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use xlac_core::rng::DefaultRng;
+
+/// Default number of trials per chunk. Small enough to load-balance
+/// across workers, large enough that the per-chunk overhead (one RNG
+/// split, one slot lock) is noise.
+pub const DEFAULT_CHUNK: u64 = 8192;
+
+/// Worker-thread count used when a sweep is configured with `threads = 0`:
+/// the `XLAC_SIM_THREADS` environment variable if set to a positive
+/// integer, otherwise the machine's available parallelism.
+#[must_use]
+pub fn default_threads() -> usize {
+    std::env::var("XLAC_SIM_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
+/// Runs `eval` over `trials` trials split into chunks of `chunk` trials,
+/// on `threads` worker threads (`0` → [`default_threads`]), and returns
+/// the per-chunk results **in chunk-index order**.
+///
+/// `eval(chunk_index, chunk_trials, rng)` evaluates one chunk with its
+/// own pre-split RNG stream. The result is independent of the thread
+/// count by construction; callers must preserve that property by merging
+/// the returned vector front to back.
+pub fn run_chunks<T, F>(trials: u64, seed: u64, threads: usize, chunk: u64, eval: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, u64, DefaultRng) -> T + Sync,
+{
+    let chunk = chunk.max(1);
+    let n_chunks = usize::try_from(trials.div_ceil(chunk)).expect("chunk count fits usize");
+    // The stream assignment: one split per chunk, drawn sequentially from
+    // the parent before any thread is spawned.
+    let mut parent = DefaultRng::seed_from_u64(seed);
+    let rngs: Vec<DefaultRng> = (0..n_chunks).map(|_| parent.split()).collect();
+    let slots: Vec<Mutex<Option<T>>> = (0..n_chunks).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let workers = if threads == 0 { default_threads() } else { threads }.min(n_chunks.max(1));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n_chunks {
+                    break;
+                }
+                let lo = i as u64 * chunk;
+                let n = chunk.min(trials - lo);
+                let result = eval(i, n, rngs[i].clone());
+                *slots[i].lock().expect("no panics hold the slot lock") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner().expect("no panics hold the slot lock").expect("chunk evaluated")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_results_are_ordered_and_cover_all_trials() {
+        let results = run_chunks(10_000, 7, 4, 1024, |i, n, _| (i, n));
+        assert_eq!(results.len(), 10);
+        let total: u64 = results.iter().map(|&(_, n)| n).sum();
+        assert_eq!(total, 10_000);
+        for (pos, &(i, n)) in results.iter().enumerate() {
+            assert_eq!(i, pos);
+            assert_eq!(n, if pos == 9 { 10_000 - 9 * 1024 } else { 1024 });
+        }
+    }
+
+    #[test]
+    fn results_are_identical_for_any_thread_count() {
+        use xlac_core::rng::Rng;
+        let sweep = |threads| {
+            run_chunks(5_000, 0xD37, threads, 512, |_, n, mut rng| {
+                (0..n).map(|_| rng.next_u64()).fold(0u64, u64::wrapping_add)
+            })
+        };
+        let one = sweep(1);
+        assert_eq!(one, sweep(2));
+        assert_eq!(one, sweep(8));
+        assert_eq!(one, sweep(0));
+    }
+
+    #[test]
+    fn zero_trials_yield_no_chunks() {
+        let results = run_chunks(0, 1, 4, 64, |_, _, _| 0u64);
+        assert!(results.is_empty());
+    }
+}

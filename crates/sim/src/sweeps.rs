@@ -1,0 +1,385 @@
+//! Monte-Carlo sweep drivers on the bit-sliced evaluators.
+//!
+//! Each driver comes in two flavours sharing one operand-drawing
+//! discipline: the bit-sliced sweep (64 trials per arithmetic pass) and a
+//! `_scalar` twin that evaluates the same operands one lane at a time
+//! through the golden scalar models. Because both flavours consume the
+//! RNG identically, their results are **equal by construction** — the
+//! scalar twin is the reference the differential tests and the
+//! `bitslice` benchmark compare against.
+
+use crate::runner::{run_chunks, DEFAULT_CHUNK};
+use xlac_accel::sad::SadAccelerator;
+use xlac_adders::{AddOutcomeX64, GeArAdder};
+use xlac_core::bits;
+use xlac_core::lanes;
+use xlac_core::metrics::{ErrorAccumulator, ErrorStats};
+use xlac_core::rng::{DefaultRng, Rng};
+use xlac_multipliers::{Multiplier, MultiplierX64};
+
+/// Configuration of one Monte-Carlo sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepOptions {
+    /// Number of random trials.
+    pub trials: u64,
+    /// Seed of the parent RNG stream (chunk streams split off it).
+    pub seed: u64,
+    /// Worker threads; `0` → [`crate::runner::default_threads`].
+    pub threads: usize,
+    /// Trials per chunk; the chunk size changes which random stream a
+    /// trial sees, so sweeps are only comparable at equal chunk sizes.
+    pub chunk: u64,
+}
+
+impl SweepOptions {
+    /// A sweep of `trials` trials from `seed` with default threading and
+    /// chunking.
+    #[must_use]
+    pub fn new(trials: u64, seed: u64) -> Self {
+        SweepOptions { trials, seed, threads: 0, chunk: DEFAULT_CHUNK }
+    }
+
+    /// Sets the worker-thread count (`0` restores the default).
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the chunk size (clamped to ≥ 1 by the runner).
+    #[must_use]
+    pub fn chunk(mut self, chunk: u64) -> Self {
+        self.chunk = chunk;
+        self
+    }
+}
+
+/// Draws one 64-lane operand batch: two lane-value arrays truncated to
+/// `width` bits. Both sweep flavours call this, so they see identical
+/// operands.
+fn draw_operands(rng: &mut DefaultRng, width: usize) -> ([u64; 64], [u64; 64]) {
+    let mut a = [0u64; 64];
+    let mut b = [0u64; 64];
+    rng.fill_u64(&mut a);
+    rng.fill_u64(&mut b);
+    for v in a.iter_mut().chain(b.iter_mut()) {
+        *v = bits::truncate(*v, width);
+    }
+    (a, b)
+}
+
+/// Folds per-chunk accumulators in chunk-index order.
+fn merge_chunks(chunks: &[ErrorAccumulator]) -> ErrorStats {
+    let mut total = ErrorAccumulator::new();
+    for acc in chunks {
+        total.merge(acc);
+    }
+    total.finish()
+}
+
+/// Monte-Carlo error sweep of a multiplier on the bit-sliced evaluator:
+/// uniform operand pairs, exact product as reference.
+pub fn multiplier_sweep<M: MultiplierX64 + ?Sized>(m: &M, opts: &SweepOptions) -> ErrorStats {
+    let w = m.width();
+    let chunks = run_chunks(opts.trials, opts.seed, opts.threads, opts.chunk, |_, n, mut rng| {
+        let mut acc = ErrorAccumulator::new();
+        let mut remaining = n;
+        while remaining > 0 {
+            let lanes_n = remaining.min(lanes::LANES as u64) as usize;
+            let (a, b) = draw_operands(&mut rng, w);
+            let planes = m.mul_x64(&lanes::to_planes(&a, w), &lanes::to_planes(&b, w));
+            let approx = lanes::from_planes(&planes);
+            for j in 0..lanes_n {
+                acc.push(a[j] * b[j], approx[j]);
+            }
+            remaining -= lanes_n as u64;
+        }
+        acc
+    });
+    merge_chunks(&chunks)
+}
+
+/// The scalar twin of [`multiplier_sweep`]: same operands, evaluated one
+/// lane at a time through [`Multiplier::mul`]. Always equal to the
+/// bit-sliced sweep; exists as the golden reference and the benchmark
+/// baseline.
+pub fn multiplier_sweep_scalar<M: Multiplier + Sync + ?Sized>(
+    m: &M,
+    opts: &SweepOptions,
+) -> ErrorStats {
+    let w = m.width();
+    let chunks = run_chunks(opts.trials, opts.seed, opts.threads, opts.chunk, |_, n, mut rng| {
+        let mut acc = ErrorAccumulator::new();
+        let mut remaining = n;
+        while remaining > 0 {
+            let lanes_n = remaining.min(lanes::LANES as u64) as usize;
+            let (a, b) = draw_operands(&mut rng, w);
+            for j in 0..lanes_n {
+                acc.push(a[j] * b[j], m.mul(a[j], b[j]));
+            }
+            remaining -= lanes_n as u64;
+        }
+        acc
+    });
+    merge_chunks(&chunks)
+}
+
+/// The outcome of a GeAr Monte-Carlo sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GearSweepResult {
+    /// Error statistics of the (possibly corrected) sums against `a + b`.
+    pub stats: ErrorStats,
+    /// Total sub-adder detections that fired in final evaluations.
+    pub detections: u64,
+    /// Total correction passes executed across all trials.
+    pub correction_iterations: u64,
+}
+
+fn gear_eval_x64(
+    adder: &GeArAdder,
+    a: &[u64],
+    b: &[u64],
+    max_iterations: Option<usize>,
+) -> AddOutcomeX64 {
+    match max_iterations {
+        None => adder.add_x64(a, b),
+        Some(k) => adder.add_with_correction_x64(a, b, k),
+    }
+}
+
+/// Monte-Carlo sweep of a GeAr adder on the bit-sliced evaluator.
+/// `max_iterations: None` runs the plain approximate add; `Some(k)`
+/// engages the error-detection-and-correction loop with that pass budget.
+pub fn gear_sweep(
+    adder: &GeArAdder,
+    max_iterations: Option<usize>,
+    opts: &SweepOptions,
+) -> GearSweepResult {
+    let w = adder.n();
+    let chunks = run_chunks(opts.trials, opts.seed, opts.threads, opts.chunk, |_, n, mut rng| {
+        let mut acc = ErrorAccumulator::new();
+        let (mut det, mut iters) = (0u64, 0u64);
+        let mut remaining = n;
+        while remaining > 0 {
+            let lanes_n = remaining.min(lanes::LANES as u64) as usize;
+            let (a, b) = draw_operands(&mut rng, w);
+            let outcome = gear_eval_x64(
+                adder,
+                &lanes::to_planes(&a, w),
+                &lanes::to_planes(&b, w),
+                max_iterations,
+            );
+            let sums = lanes::from_planes(&outcome.value);
+            for j in 0..lanes_n {
+                acc.push(a[j] + b[j], sums[j]);
+                det += u64::from(outcome.errors_detected[j]);
+                iters += u64::from(outcome.correction_iterations[j]);
+            }
+            remaining -= lanes_n as u64;
+        }
+        (acc, det, iters)
+    });
+    let mut total = ErrorAccumulator::new();
+    let (mut detections, mut correction_iterations) = (0u64, 0u64);
+    for (acc, det, iters) in &chunks {
+        total.merge(acc);
+        detections += det;
+        correction_iterations += iters;
+    }
+    GearSweepResult { stats: total.finish(), detections, correction_iterations }
+}
+
+/// The scalar twin of [`gear_sweep`] (see [`multiplier_sweep_scalar`]).
+pub fn gear_sweep_scalar(
+    adder: &GeArAdder,
+    max_iterations: Option<usize>,
+    opts: &SweepOptions,
+) -> GearSweepResult {
+    let w = adder.n();
+    let chunks = run_chunks(opts.trials, opts.seed, opts.threads, opts.chunk, |_, n, mut rng| {
+        let mut acc = ErrorAccumulator::new();
+        let (mut det, mut iters) = (0u64, 0u64);
+        let mut remaining = n;
+        while remaining > 0 {
+            let lanes_n = remaining.min(lanes::LANES as u64) as usize;
+            let (a, b) = draw_operands(&mut rng, w);
+            for j in 0..lanes_n {
+                let outcome = match max_iterations {
+                    None => adder.add(a[j], b[j]),
+                    Some(k) => adder.add_with_correction(a[j], b[j], k),
+                };
+                acc.push(a[j] + b[j], outcome.value);
+                det += outcome.errors_detected as u64;
+                iters += outcome.correction_iterations as u64;
+            }
+            remaining -= lanes_n as u64;
+        }
+        (acc, det, iters)
+    });
+    let mut total = ErrorAccumulator::new();
+    let (mut detections, mut correction_iterations) = (0u64, 0u64);
+    for (acc, det, iters) in &chunks {
+        total.merge(acc);
+        detections += det;
+        correction_iterations += iters;
+    }
+    GearSweepResult { stats: total.finish(), detections, correction_iterations }
+}
+
+/// The outcome of a SAD Monte-Carlo sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SadSweepResult {
+    /// Error statistics of the approximate SAD against the exact SAD.
+    pub stats: ErrorStats,
+    /// Mean squared error of the SAD values.
+    pub mse: f64,
+    /// PSNR derived from `mse` via [`xlac_quality::psnr_from_mse`]
+    /// (8-bit dynamic-range convention).
+    pub psnr: f64,
+}
+
+/// Draws one batch of 64 random block pairs, pixel-slot-major, with 8-bit
+/// pixels. Shared by both SAD sweep flavours.
+fn draw_blocks(rng: &mut DefaultRng, slots: usize) -> (Vec<[u64; 64]>, Vec<[u64; 64]>) {
+    let mut cur = vec![[0u64; 64]; slots];
+    let mut refb = vec![[0u64; 64]; slots];
+    for i in 0..slots {
+        rng.fill_u64(&mut cur[i]);
+        rng.fill_u64(&mut refb[i]);
+        for v in cur[i].iter_mut().chain(refb[i].iter_mut()) {
+            *v &= 0xFF;
+        }
+    }
+    (cur, refb)
+}
+
+fn merge_sad_chunks(chunks: &[(ErrorAccumulator, Option<f64>, u64)]) -> SadSweepResult {
+    let mut total = ErrorAccumulator::new();
+    let mut sum_sq = 0.0f64;
+    let mut n = 0u64;
+    for (acc, mse, count) in chunks {
+        total.merge(acc);
+        if let Some(mse) = mse {
+            sum_sq += mse * (*count as f64);
+            n += count;
+        }
+    }
+    let mse = if n == 0 { 0.0 } else { sum_sq / n as f64 };
+    SadSweepResult { stats: total.finish(), mse, psnr: xlac_quality::psnr_from_mse(mse) }
+}
+
+/// Monte-Carlo sweep of a SAD accelerator on the bit-sliced datapath:
+/// uniform random block pairs, exact SAD as reference. Each trial is one
+/// block pair; 64 pairs evaluate per datapath pass.
+pub fn sad_sweep(sad: &SadAccelerator, opts: &SweepOptions) -> SadSweepResult {
+    let slots = sad.lanes();
+    let chunks = run_chunks(opts.trials, opts.seed, opts.threads, opts.chunk, |_, n, mut rng| {
+        let mut acc = ErrorAccumulator::new();
+        let mut pairs: Vec<(u64, u64)> = Vec::new();
+        let mut remaining = n;
+        while remaining > 0 {
+            let lanes_n = remaining.min(lanes::LANES as u64) as usize;
+            let (cur, refb) = draw_blocks(&mut rng, slots);
+            let to_batches = |vals: &Vec<[u64; 64]>| -> Vec<Vec<u64>> {
+                vals.iter().map(|v| lanes::to_planes(v, SadAccelerator::PIXEL_BITS)).collect()
+            };
+            let planes = sad
+                .sad_x64(&to_batches(&cur), &to_batches(&refb))
+                .expect("drawn pixels are 8-bit and slot counts match");
+            let approx = lanes::from_planes(&planes);
+            for j in 0..lanes_n {
+                let block_c: Vec<u64> = cur.iter().map(|slot| slot[j]).collect();
+                let block_r: Vec<u64> = refb.iter().map(|slot| slot[j]).collect();
+                let exact = SadAccelerator::sad_exact(&block_c, &block_r);
+                acc.push(exact, approx[j]);
+                pairs.push((exact, approx[j]));
+            }
+            remaining -= lanes_n as u64;
+        }
+        let count = pairs.len() as u64;
+        (acc, xlac_quality::mse_int_pairs(pairs), count)
+    });
+    merge_sad_chunks(&chunks)
+}
+
+/// The scalar twin of [`sad_sweep`] (see [`multiplier_sweep_scalar`]).
+pub fn sad_sweep_scalar(sad: &SadAccelerator, opts: &SweepOptions) -> SadSweepResult {
+    let slots = sad.lanes();
+    let chunks = run_chunks(opts.trials, opts.seed, opts.threads, opts.chunk, |_, n, mut rng| {
+        let mut acc = ErrorAccumulator::new();
+        let mut pairs: Vec<(u64, u64)> = Vec::new();
+        let mut remaining = n;
+        while remaining > 0 {
+            let lanes_n = remaining.min(lanes::LANES as u64) as usize;
+            let (cur, refb) = draw_blocks(&mut rng, slots);
+            for j in 0..lanes_n {
+                let block_c: Vec<u64> = cur.iter().map(|slot| slot[j]).collect();
+                let block_r: Vec<u64> = refb.iter().map(|slot| slot[j]).collect();
+                let exact = SadAccelerator::sad_exact(&block_c, &block_r);
+                let approx =
+                    sad.sad(&block_c, &block_r).expect("drawn pixels are 8-bit in-range");
+                acc.push(exact, approx);
+                pairs.push((exact, approx));
+            }
+            remaining -= lanes_n as u64;
+        }
+        let count = pairs.len() as u64;
+        (acc, xlac_quality::mse_int_pairs(pairs), count)
+    });
+    merge_sad_chunks(&chunks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xlac_accel::sad::SadVariant;
+    use xlac_multipliers::{Mul2x2Kind, RecursiveMultiplier, SumMode};
+
+    #[test]
+    fn sliced_and_scalar_multiplier_sweeps_agree() {
+        let m = RecursiveMultiplier::new(8, Mul2x2Kind::ApxSoA, SumMode::Accurate).unwrap();
+        let opts = SweepOptions::new(3_000, 0xA11CE).chunk(512);
+        assert_eq!(multiplier_sweep(&m, &opts), multiplier_sweep_scalar(&m, &opts));
+    }
+
+    #[test]
+    fn sliced_and_scalar_gear_sweeps_agree() {
+        let gear = GeArAdder::new(12, 4, 4).unwrap();
+        let opts = SweepOptions::new(2_000, 0x6EA2).chunk(256);
+        for max_iterations in [None, Some(0), Some(1), Some(usize::MAX)] {
+            assert_eq!(
+                gear_sweep(&gear, max_iterations, &opts),
+                gear_sweep_scalar(&gear, max_iterations, &opts),
+                "{max_iterations:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn sliced_and_scalar_sad_sweeps_agree() {
+        let sad = SadAccelerator::new(8, SadVariant::ApxSad3, 3).unwrap();
+        let opts = SweepOptions::new(1_000, 0x5AD0).chunk(128);
+        let sliced = sad_sweep(&sad, &opts);
+        let scalar = sad_sweep_scalar(&sad, &opts);
+        assert_eq!(sliced, scalar);
+        assert_eq!(sliced.stats.samples, 1_000);
+        assert!(sliced.psnr.is_finite() || sliced.mse == 0.0);
+    }
+
+    #[test]
+    fn sweeps_are_thread_count_invariant() {
+        let m = RecursiveMultiplier::new(8, Mul2x2Kind::ApxOur, SumMode::Accurate).unwrap();
+        let base = SweepOptions::new(4_000, 0xDE7).chunk(512);
+        let one = multiplier_sweep(&m, &base.threads(1));
+        assert_eq!(one, multiplier_sweep(&m, &base.threads(2)));
+        assert_eq!(one, multiplier_sweep(&m, &base.threads(8)));
+    }
+
+    #[test]
+    fn exact_configurations_sweep_exact() {
+        let m = RecursiveMultiplier::new(8, Mul2x2Kind::Accurate, SumMode::Accurate).unwrap();
+        let stats = multiplier_sweep(&m, &SweepOptions::new(2_000, 1).chunk(512));
+        assert!(stats.is_exact());
+        assert_eq!(stats.samples, 2_000);
+    }
+}

@@ -12,8 +12,13 @@
 #      built-in configs and hdl/ (DESIGN.md §9) — any error-severity
 #      diagnostic or unsound bound fails the gate;
 #   5. rustdoc with warnings as errors (broken intra-doc links etc.);
-#   6. a smoke run of the micro-benchmarks (XLAC_BENCH_QUICK) so bench
-#      bit-rot is caught without spending minutes measuring.
+#   6. the bit-sliced differential suite on its own (DESIGN.md §10) —
+#      it is part of step 2 already, but a dedicated invocation keeps
+#      the sliced-vs-scalar lockstep visible as a named gate;
+#   7. a smoke run of the micro-benchmarks (XLAC_BENCH_QUICK) so bench
+#      bit-rot is caught without spending minutes measuring; the
+#      bitslice bench's JSON lines are recorded into BENCH_bitslice.json
+#      so the scalar-vs-sliced throughput trajectory is tracked in-tree.
 #
 # Any failing step exits non-zero immediately (set -e).
 
@@ -46,7 +51,14 @@ cargo run -q --release -p xlac-analysis --offline --bin xlac-lint -- --samples 1
 echo "==> cargo doc (offline, warnings as errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc -q --workspace --no-deps --offline
 
+echo "==> bitslice differential suite (sliced engine vs scalar golden models)"
+cargo test -q --offline --release --test bitslice_differential
+
 echo "==> bench smoke run (XLAC_BENCH_QUICK=1)"
 XLAC_BENCH_QUICK=1 cargo bench -q -p xlac-bench --offline >/dev/null
+
+echo "==> bitslice throughput report (BENCH_bitslice.json)"
+XLAC_BENCH_QUICK=1 cargo bench -q -p xlac-bench --bench bitslice --offline \
+    | grep '^{' > BENCH_bitslice.json
 
 echo "CI OK"

@@ -19,6 +19,10 @@
 //!   management unit.
 //! * [`video`] / [`imaging`] — the HEVC-style motion-estimation case study
 //!   (Fig.8/Fig.9) and the SSIM data-resilience study (Fig.10).
+//! * [`sim`] — the bit-sliced 64-way simulation engine: word-parallel
+//!   `*_x64` evaluators locked to the scalar golden models by a
+//!   differential test suite, plus deterministic multi-threaded
+//!   Monte-Carlo sweeps.
 //! * [`explore`] — design-space exploration (Table IV / Fig.4).
 //! * [`analysis`] — static error-bound propagation and netlist lint
 //!   (the `xlac-lint` CI gate); see `DESIGN.md` §9.
@@ -57,4 +61,5 @@ pub use xlac_imaging as imaging;
 pub use xlac_logic as logic;
 pub use xlac_multipliers as multipliers;
 pub use xlac_quality as quality;
+pub use xlac_sim as sim;
 pub use xlac_video as video;

@@ -123,6 +123,51 @@ fn seeded_pipeline_is_bit_identical_across_runs() {
 }
 
 #[test]
+fn bit_sliced_sweeps_are_thread_count_invariant() {
+    // The xlac-sim contract: chunk RNG streams are assigned before any
+    // worker runs and chunk results merge in index order, so a sweep is
+    // bitwise-identical for 1, 2 or 8 workers — including every float.
+    use xlac::sim::{gear_sweep, multiplier_sweep, sad_sweep, SweepOptions};
+    let base = SweepOptions::new(20_000, 0xDAC_2016).chunk(1024);
+
+    let m = RecursiveMultiplier::new(8, Mul2x2Kind::ApxSoA, SumMode::Accurate).unwrap();
+    let mul_one = multiplier_sweep(&m, &base.threads(1));
+    assert_eq!(mul_one, multiplier_sweep(&m, &base.threads(2)));
+    assert_eq!(mul_one, multiplier_sweep(&m, &base.threads(8)));
+
+    let gear = GeArAdder::new(16, 4, 4).unwrap();
+    let gear_one = gear_sweep(&gear, Some(1), &base.threads(1));
+    assert_eq!(gear_one, gear_sweep(&gear, Some(1), &base.threads(2)));
+    assert_eq!(gear_one, gear_sweep(&gear, Some(1), &base.threads(8)));
+
+    let sad = SadAccelerator::new(16, SadVariant::ApxSad3, 4).unwrap();
+    let opts = SweepOptions::new(4_000, 9).chunk(256);
+    let sad_one = sad_sweep(&sad, &opts.threads(1));
+    assert_eq!(sad_one, sad_sweep(&sad, &opts.threads(2)));
+    assert_eq!(sad_one, sad_sweep(&sad, &opts.threads(8)));
+}
+
+#[test]
+fn bit_sliced_sweeps_match_their_scalar_twins() {
+    // The sweep drivers draw operands identically in both flavours, so
+    // sliced == scalar is an exact equality — the engine-level seal on
+    // top of the per-component differential suite.
+    use xlac::sim::{
+        gear_sweep, gear_sweep_scalar, multiplier_sweep, multiplier_sweep_scalar, SweepOptions,
+    };
+    let opts = SweepOptions::new(10_000, 0x51CED).chunk(1024);
+    let m = RecursiveMultiplier::new(8, Mul2x2Kind::ApxOur, SumMode::Accurate).unwrap();
+    assert_eq!(multiplier_sweep(&m, &opts), multiplier_sweep_scalar(&m, &opts));
+    let gear = GeArAdder::aca_ii(16, 8).unwrap();
+    for max_iterations in [None, Some(usize::MAX)] {
+        assert_eq!(
+            gear_sweep(&gear, max_iterations, &opts),
+            gear_sweep_scalar(&gear, max_iterations, &opts)
+        );
+    }
+}
+
+#[test]
 fn adaptive_controller_is_deterministic() {
     use xlac::video::adaptive::{AdaptiveEncoder, AdaptivePolicy};
     let seq = SyntheticSequence::generate(&SequenceConfig::small_test()).unwrap();

@@ -533,3 +533,82 @@ fn gear_error_model_matches_simulation() {
         },
     );
 }
+
+#[test]
+fn bit_sliced_adders_are_lane_independent() {
+    // Permuting the input lanes of a bit-sliced evaluation permutes the
+    // output lanes identically: no state leaks across lane boundaries.
+    use xlac::adders::AdderX64;
+    use xlac::core::lanes;
+    check(
+        "bit_sliced_adders_are_lane_independent",
+        |rng| (rng.gen::<u64>(), rng.gen_range(0..FullAdderKind::ALL.len())),
+        |&(seed, kind_idx)| {
+            if kind_idx >= FullAdderKind::ALL.len() {
+                return Ok(());
+            }
+            let mut rng = DefaultRng::seed_from_u64(seed);
+            let w = 12usize;
+            let mut a = [0u64; 64];
+            let mut b = [0u64; 64];
+            rng.fill_u64(&mut a);
+            rng.fill_u64(&mut b);
+            let a = a.map(|v| bits::truncate(v, w));
+            let b = b.map(|v| bits::truncate(v, w));
+            let mut perm = [0usize; 64];
+            for (i, p) in perm.iter_mut().enumerate() {
+                *p = i;
+            }
+            rng.shuffle(&mut perm);
+            let kind = FullAdderKind::ALL[kind_idx];
+            let adder = RippleCarryAdder::with_approx_lsbs(w, kind, w / 2).unwrap();
+            let base = adder.add_x64(&lanes::to_planes(&a, w), &lanes::to_planes(&b, w));
+            // Evaluate on permuted inputs: the output must be the base
+            // output under the same permutation.
+            let pa = lanes::permute_lanes(&lanes::to_planes(&a, w), &perm);
+            let pb = lanes::permute_lanes(&lanes::to_planes(&b, w), &perm);
+            prop_assert_eq!(adder.add_x64(&pa, &pb), lanes::permute_lanes(&base, &perm));
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn bit_sliced_multipliers_are_lane_independent() {
+    use xlac::core::lanes;
+    use xlac::multipliers::MultiplierX64;
+    check(
+        "bit_sliced_multipliers_are_lane_independent",
+        |rng| (rng.gen::<u64>(), rng.gen_range(0..64usize)),
+        |&(seed, rot)| {
+            if rot >= 64 {
+                return Ok(());
+            }
+            let mut rng = DefaultRng::seed_from_u64(seed);
+            let w = 8usize;
+            let mut a = [0u64; 64];
+            let mut b = [0u64; 64];
+            rng.fill_u64(&mut a);
+            rng.fill_u64(&mut b);
+            let a = a.map(|v| bits::truncate(v, w));
+            let b = b.map(|v| bits::truncate(v, w));
+            // A rotation is the cheapest interesting permutation to draw
+            // by construction.
+            let mut perm = [0usize; 64];
+            for (i, p) in perm.iter_mut().enumerate() {
+                *p = (i + rot) % 64;
+            }
+            let m = RecursiveMultiplier::new(
+                w,
+                Mul2x2Kind::ApxSoA,
+                SumMode::ApproxLsbs { kind: FullAdderKind::Apx1, lsbs: 2 },
+            )
+            .unwrap();
+            let base = m.mul_x64(&lanes::to_planes(&a, w), &lanes::to_planes(&b, w));
+            let pa = lanes::permute_lanes(&lanes::to_planes(&a, w), &perm);
+            let pb = lanes::permute_lanes(&lanes::to_planes(&b, w), &perm);
+            prop_assert_eq!(m.mul_x64(&pa, &pb), lanes::permute_lanes(&base, &perm));
+            Ok(())
+        },
+    );
+}
