@@ -1,25 +1,34 @@
 //! `xlac-lint` — the CI gate for the static analysis layer.
 //!
-//! Two passes:
+//! Three passes:
 //!
-//! * **Lint**: the nine-rule structural catalog over every built-in
+//! * **Lint**: the eleven-rule structural catalog over every built-in
 //!   netlist (Table III full adders, Fig.5 2×2 multiplier blocks, the
 //!   configurable blocks) and every `.v` file in the HDL directory.
 //! * **Bounds**: Monte-Carlo / exhaustive validation that every static
 //!   error bound covers the observed errors of its component.
+//! * **Exact** (`--exact`): the symbolic engine's proof obligations —
+//!   for every shipped module, the truth-table model, the `hdl/*.v`
+//!   netlist and the bit-sliced `eval_x64` form are formally the same
+//!   function (BDD root equality, backed by exhaustive or seeded-vector
+//!   legs for the wide datapaths) — plus the bound-vs-exact soundness
+//!   audit on every 8-bit-and-under configuration.
 //!
-//! Exits non-zero on any error-severity diagnostic or unsound bound.
+//! Exits non-zero on any error-severity diagnostic, unsound bound,
+//! refuted equivalence proof, or unsound bound audit.
 //!
 //! ```text
-//! xlac-lint [--json] [--hdl-dir DIR] [--samples N] [--lint-only]
+//! xlac-lint [--json] [--hdl-dir DIR] [--samples N] [--lint-only] [--exact]
 //! ```
 
 use std::io::Write;
 use std::path::PathBuf;
 use std::process::ExitCode;
 use xlac_adders::FullAdderKind;
-use xlac_analysis::lint::{lint_netlist, lint_raw, reports_to_json, LintReport, Severity};
-use xlac_analysis::parse::{parse_verilog, RawNetlist};
+use xlac_analysis::lint::{lint_library, lint_netlist, reports_to_json, LintReport, Severity};
+use xlac_analysis::parse::{parse_verilog_library, RawNetlist};
+use xlac_analysis::symbolic::audit::{audit_bounds, audits_to_json};
+use xlac_analysis::symbolic::registry::{proofs_to_json, prove_all, ProofStatus};
 use xlac_analysis::validate::run_all_checks;
 use xlac_multipliers::{ConfigurableMul2x2, Mul2x2Kind};
 
@@ -28,6 +37,7 @@ struct Options {
     hdl_dir: PathBuf,
     samples: u64,
     lint_only: bool,
+    exact: bool,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -36,12 +46,14 @@ fn parse_args() -> Result<Options, String> {
         hdl_dir: PathBuf::from("hdl"),
         samples: 100_000,
         lint_only: false,
+        exact: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--json" => opts.json = true,
             "--lint-only" => opts.lint_only = true,
+            "--exact" => opts.exact = true,
             "--hdl-dir" => {
                 opts.hdl_dir =
                     PathBuf::from(args.next().ok_or("--hdl-dir needs a directory")?);
@@ -86,12 +98,18 @@ fn hdl_reports(dir: &PathBuf) -> Result<Vec<LintReport>, String> {
     for path in files {
         let source = std::fs::read_to_string(&path)
             .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-        let (module, errors) = parse_verilog(&source);
-        let fallback = RawNetlist {
-            name: path.file_stem().map_or_else(String::new, |s| s.to_string_lossy().into_owned()),
-            ..RawNetlist::default()
-        };
-        reports.push(lint_raw(module.as_ref().unwrap_or(&fallback), &errors));
+        let (modules, errors) = parse_verilog_library(&source);
+        if modules.is_empty() {
+            let fallback = RawNetlist {
+                name: path
+                    .file_stem()
+                    .map_or_else(String::new, |s| s.to_string_lossy().into_owned()),
+                ..RawNetlist::default()
+            };
+            reports.extend(lint_library(std::slice::from_ref(&fallback), &errors));
+        } else {
+            reports.extend(lint_library(&modules, &errors));
+        }
     }
     Ok(reports)
 }
@@ -136,10 +154,35 @@ fn main() -> ExitCode {
         }
     }
 
+    // The exact pass: equivalence proofs over every shipped module plus
+    // the bound-vs-exact soundness audit.
+    let mut proofs = Vec::new();
+    let mut audits = Vec::new();
+    if opts.exact {
+        match prove_all(&opts.hdl_dir) {
+            Ok(p) => proofs = p,
+            Err(e) => {
+                eprintln!("xlac-lint: exact pass failed to build: {e}");
+                return ExitCode::from(2);
+            }
+        }
+        audits = audit_bounds();
+    }
+    let refuted: usize = proofs.iter().filter(|p| !p.is_proven()).count();
+    let unsound_audits: usize = audits.iter().filter(|a| !a.sound).count();
+
     // Buffer the report and tolerate a closed pipe (`xlac-lint | head`)
     // instead of panicking on the write.
     let mut out = String::new();
-    if opts.json {
+    if opts.json && opts.exact {
+        out.push_str("{\n\"lint\": ");
+        out.push_str(reports_to_json(&reports).trim_end());
+        out.push_str(",\n\"proofs\": ");
+        out.push_str(proofs_to_json(&proofs).trim_end());
+        out.push_str(",\n\"bound_audit\": ");
+        out.push_str(audits_to_json(&audits).trim_end());
+        out.push_str("\n}\n");
+    } else if opts.json {
         out.push_str(&reports_to_json(&reports));
         out.push('\n');
     } else {
@@ -173,10 +216,42 @@ fn main() -> ExitCode {
                 );
             }
         }
+        if opts.exact {
+            for p in &proofs {
+                let status = match &p.status {
+                    ProofStatus::Proven => "proven".to_string(),
+                    ProofStatus::Refuted(why) => format!("REFUTED: {why}"),
+                };
+                out.push_str(&format!(
+                    "proof: {} [{}] {} ({} nodes, {:.1}% memo hits)\n",
+                    p.name,
+                    p.method,
+                    status,
+                    p.bdd_nodes,
+                    p.memo_hit_rate * 100.0
+                ));
+            }
+            for a in &audits {
+                out.push_str(&format!(
+                    "audit: {} bound_wce={} exact_wce={} slack={} {}\n",
+                    a.name,
+                    a.bound_wce,
+                    a.exact_wce,
+                    a.wce_slack,
+                    if a.sound { "sound" } else { "UNSOUND" }
+                ));
+            }
+            out.push_str(&format!(
+                "xlac-lint: {} equivalence proof(s), {refuted} refuted; \
+                 {} bound audit(s), {unsound_audits} unsound\n",
+                proofs.len(),
+                audits.len()
+            ));
+        }
     }
     let _ = std::io::stdout().write_all(out.as_bytes());
 
-    if errors > 0 || !unsound.is_empty() {
+    if errors > 0 || !unsound.is_empty() || refuted > 0 || unsound_audits > 0 {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS

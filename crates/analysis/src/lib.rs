@@ -12,17 +12,26 @@
 //!    worst case is a *sound upper bound*: [`validate`] checks it against
 //!    exhaustive or Monte-Carlo observation for every shipped
 //!    configuration.
-//! 2. **Is this netlist structurally well-formed?** [`lint`] runs a
-//!    nine-rule catalog (floating nets, multiple drivers, combinational
+//! 2. **Is this netlist structurally well-formed?** [`lint`] runs an
+//!    eleven-rule catalog (floating nets, multiple drivers, combinational
 //!    cycles, arity mismatches, dead gates, constant cones, unused
-//!    inputs, undriven outputs, parse errors) over both built
+//!    inputs, undriven outputs, instance port-width mismatches, duplicate
+//!    gates, parse errors) over both built
 //!    [`xlac_logic::netlist::Netlist`]s and the Verilog subset in `hdl/`,
 //!    parsed by [`parse`].
+//! 3. **How wrong *is* it, exactly — and is every representation the
+//!    same circuit?** [`symbolic`] compiles netlists, truth tables and
+//!    the composed datapaths into ROBDDs, computes provable
+//!    WCE/ER/MED/per-bit flip probabilities by model counting, and
+//!    proves (not samples) that the truth-table model, the `hdl/*.v`
+//!    netlist and the bit-sliced `eval_x64` form of every shipped module
+//!    agree.
 //!
-//! The `xlac-lint` binary runs both passes over every built-in
-//! configuration and exits non-zero on any error-severity finding or
-//! unsound bound; `scripts/ci.sh` gates on it. DESIGN.md §9 documents the
-//! domain, the soundness arguments and the rule catalog.
+//! The `xlac-lint` binary runs these passes over every built-in
+//! configuration and exits non-zero on any error-severity finding,
+//! unsound bound, or (under `--exact`) failed equivalence proof;
+//! `scripts/ci.sh` gates on it. DESIGN.md §9 documents the bound domain
+//! and the rule catalog; §11 the symbolic engine.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,6 +40,7 @@ pub mod bound;
 pub mod components;
 pub mod lint;
 pub mod parse;
+pub mod symbolic;
 pub mod validate;
 
 pub use bound::ErrorBound;
@@ -39,6 +49,7 @@ pub use components::{
     recursive_multiplier_bound, ripple_adder_bound, sad_bound, subtractor_bound,
     truncated_bound, wallace_bound, CellDeviation, StaticProfile,
 };
-pub use lint::{lint_netlist, lint_raw, Diagnostic, LintReport, LintRule, Severity};
-pub use parse::{parse_verilog, RawNetlist};
+pub use lint::{lint_library, lint_netlist, lint_raw, Diagnostic, LintReport, LintRule, Severity};
+pub use parse::{parse_verilog, parse_verilog_library, RawNetlist};
+pub use symbolic::{exact_metrics, Bdd, ExactMetrics};
 pub use validate::{run_all_checks, BoundCheck};

@@ -1,7 +1,7 @@
 //! Structural netlist lint.
 //!
-//! Nine rules over a [`RawNetlist`] (parsed from Verilog or converted from
-//! a built [`Netlist`]):
+//! Eleven rules over a [`RawNetlist`] (parsed from Verilog or converted
+//! from a built [`Netlist`]):
 //!
 //! | Rule    | Severity | Finding |
 //! |---------|----------|---------|
@@ -14,11 +14,19 @@
 //! | `XL006` | Warning  | gate output is provably constant |
 //! | `XL007` | Warning  | unused input port |
 //! | `XL008` | Error    | undriven output port |
+//! | `XL009` | Error    | instance port width mismatches the declaration |
+//! | `XL010` | Warning  | structurally equivalent duplicate gate |
 //!
 //! Errors are structural defects that make the netlist unsynthesizable or
 //! non-deterministic; warnings flag waste (which the paper's approximate
-//! cells legitimately produce — `ApxFA5` ignores its carry-in by design,
-//! so `XL007` is informational, not gating).
+//! designs legitimately produce — `ApxFA5` ignores its carry-in by
+//! design, so `XL007` is informational, and GeAr's overlapping sub-adders
+//! genuinely duplicate their shared propagate/generate gates, which is
+//! exactly the redundancy `XL010` quantifies).
+//!
+//! `XL009` needs the declarations of instantiated modules, so composed
+//! (multi-module) sources are linted through [`lint_library`], which
+//! resolves instances across the whole file.
 
 use crate::parse::{is_constant, CellFunc, ParseError, RawCell, RawNetlist};
 use std::collections::{HashMap, HashSet};
@@ -64,6 +72,13 @@ pub enum LintRule {
     UnusedInput,
     /// `XL008`: an output port has no driver.
     UndrivenOutput,
+    /// `XL009`: an instance's connection count does not match the
+    /// instantiated module's declared port count (or the module is not
+    /// declared at all).
+    PortWidthMismatch,
+    /// `XL010`: a gate computes the same function of the same input nets
+    /// as an earlier gate.
+    DuplicateGate,
 }
 
 impl LintRule {
@@ -80,6 +95,8 @@ impl LintRule {
             LintRule::ConstantCone => "XL006",
             LintRule::UnusedInput => "XL007",
             LintRule::UndrivenOutput => "XL008",
+            LintRule::PortWidthMismatch => "XL009",
+            LintRule::DuplicateGate => "XL010",
         }
     }
 
@@ -87,9 +104,10 @@ impl LintRule {
     #[must_use]
     pub fn severity(self) -> Severity {
         match self {
-            LintRule::DeadGate | LintRule::ConstantCone | LintRule::UnusedInput => {
-                Severity::Warning
-            }
+            LintRule::DeadGate
+            | LintRule::ConstantCone
+            | LintRule::UnusedInput
+            | LintRule::DuplicateGate => Severity::Warning,
             _ => Severity::Error,
         }
     }
@@ -218,10 +236,25 @@ fn eval_gate(kind: GateKind, inputs: &[Value]) -> Value {
     }
 }
 
-fn cell_arity(cell: &RawCell) -> usize {
-    match cell.func {
-        CellFunc::Gate(kind) => kind.arity(),
-        CellFunc::Alias => 1,
+/// Fixed operand count of a cell, or `None` for instances (their
+/// connection count is checked against the declaration by `XL009`).
+fn cell_arity(cell: &RawCell) -> Option<usize> {
+    match &cell.func {
+        CellFunc::Gate(kind) => Some(kind.arity()),
+        CellFunc::Alias => Some(1),
+        CellFunc::Instance(_) => None,
+    }
+}
+
+/// Number of *additional* driven connections of a cell beyond
+/// `cell.output` — nonzero only for instances of known multi-output
+/// modules (connections are positional, outputs first).
+fn extra_outputs(cell: &RawCell, library: &HashMap<&str, &RawNetlist>) -> usize {
+    match &cell.func {
+        CellFunc::Instance(module) => library
+            .get(module.as_str())
+            .map_or(0, |decl| decl.outputs.len().saturating_sub(1).min(cell.inputs.len())),
+        _ => 0,
     }
 }
 
@@ -234,8 +267,37 @@ fn location(net: &RawNetlist, cell: &RawCell) -> String {
 }
 
 /// Lints a raw netlist, with any parse errors folded in as `XL000`.
+/// Instances can only resolve against the module itself; multi-module
+/// sources should go through [`lint_library`] so `XL009` sees every
+/// declaration.
 #[must_use]
 pub fn lint_raw(net: &RawNetlist, parse_errors: &[ParseError]) -> LintReport {
+    let library = HashMap::from([(net.name.as_str(), net)]);
+    lint_in_library(net, &library, parse_errors)
+}
+
+/// Lints every module of a multi-module source, resolving instances
+/// against all declarations in the file. Parse errors are folded into the
+/// first module's report (they carry their own line numbers).
+#[must_use]
+pub fn lint_library(modules: &[RawNetlist], parse_errors: &[ParseError]) -> Vec<LintReport> {
+    let library: HashMap<&str, &RawNetlist> =
+        modules.iter().map(|m| (m.name.as_str(), m)).collect();
+    modules
+        .iter()
+        .enumerate()
+        .map(|(i, net)| {
+            let errors = if i == 0 { parse_errors } else { &[] };
+            lint_in_library(net, &library, errors)
+        })
+        .collect()
+}
+
+fn lint_in_library(
+    net: &RawNetlist,
+    library: &HashMap<&str, &RawNetlist>,
+    parse_errors: &[ParseError],
+) -> LintReport {
     let mut diags = Vec::new();
     for e in parse_errors {
         diags.push(Diagnostic::new(
@@ -245,12 +307,85 @@ pub fn lint_raw(net: &RawNetlist, parse_errors: &[ParseError]) -> LintReport {
         ));
     }
 
-    // Driver map: signal name → indices of driving cells.
+    // Driver map: signal name → indices of driving cells. An instance of
+    // a known multi-output module drives its leading connections too.
     let mut drivers: HashMap<&str, Vec<usize>> = HashMap::new();
     for (i, cell) in net.cells.iter().enumerate() {
         drivers.entry(cell.output.as_str()).or_default().push(i);
+        for extra in &cell.inputs[..extra_outputs(cell, library)] {
+            drivers.entry(extra.as_str()).or_default().push(i);
+        }
     }
     let input_ports: HashSet<&str> = net.inputs.iter().map(String::as_str).collect();
+
+    // XL009: instance connections vs the instantiated module's ports.
+    for cell in &net.cells {
+        let CellFunc::Instance(module) = &cell.func else { continue };
+        match library.get(module.as_str()) {
+            None => diags.push(Diagnostic::new(
+                LintRule::PortWidthMismatch,
+                location(net, cell),
+                format!("instance {:?} references undeclared module {module:?}", cell.name),
+            )),
+            Some(decl) => {
+                let declared = decl.inputs.len() + decl.outputs.len();
+                let connected = 1 + cell.inputs.len();
+                if connected != declared {
+                    diags.push(Diagnostic::new(
+                        LintRule::PortWidthMismatch,
+                        location(net, cell),
+                        format!(
+                            "instance {:?} connects {connected} port(s), but module \
+                             {module:?} declares {declared} ({} input(s) + {} output(s))",
+                            cell.name,
+                            decl.inputs.len(),
+                            decl.outputs.len()
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
+    // XL010: structurally equivalent duplicate gates — same function of
+    // the same input nets (operand order normalized for the symmetric
+    // kinds). First occurrence wins; later copies are flagged.
+    let mut seen_shapes: HashMap<(GateKind, Vec<&str>), &RawCell> = HashMap::new();
+    for cell in &net.cells {
+        let CellFunc::Gate(kind) = &cell.func else { continue };
+        if cell.inputs.len() != kind.arity() {
+            continue; // XL004 territory
+        }
+        let mut shape: Vec<&str> = cell.inputs.iter().map(String::as_str).collect();
+        let symmetric = matches!(
+            kind,
+            GateKind::And2
+                | GateKind::Or2
+                | GateKind::Nand2
+                | GateKind::Nor2
+                | GateKind::Xor2
+                | GateKind::Xnor2
+        );
+        if symmetric {
+            shape.sort_unstable();
+        }
+        match seen_shapes.entry((*kind, shape)) {
+            std::collections::hash_map::Entry::Occupied(first) => {
+                diags.push(Diagnostic::new(
+                    LintRule::DuplicateGate,
+                    location(net, cell),
+                    format!(
+                        "cell {:?} duplicates {:?} ({kind} of the same input nets)",
+                        cell.name,
+                        first.get().name
+                    ),
+                ));
+            }
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(cell);
+            }
+        }
+    }
 
     // XL002: multiple drivers (input ports with a driver also contend).
     for (signal, who) in &drivers {
@@ -264,9 +399,10 @@ pub fn lint_raw(net: &RawNetlist, parse_errors: &[ParseError]) -> LintReport {
         }
     }
 
-    // XL004: arity mismatches.
+    // XL004: arity mismatches (gates and aliases; instance connection
+    // counts are XL009's).
     for cell in &net.cells {
-        let expected = cell_arity(cell);
+        let Some(expected) = cell_arity(cell) else { continue };
         if cell.inputs.len() != expected {
             diags.push(Diagnostic::new(
                 LintRule::ArityMismatch,
@@ -321,7 +457,9 @@ pub fn lint_raw(net: &RawNetlist, parse_errors: &[ParseError]) -> LintReport {
         .cells
         .iter()
         .map(|cell| {
-            cell.inputs
+            // An instance's leading connections are *its own outputs*
+            // (it drives them), not dependencies.
+            cell.inputs[extra_outputs(cell, library)..]
                 .iter()
                 .filter_map(|input| drivers.get(input.as_str()))
                 .flatten()
@@ -399,14 +537,15 @@ pub fn lint_raw(net: &RawNetlist, parse_errors: &[ParseError]) -> LintReport {
         for _ in 0..=net.cells.len() {
             let mut changed = false;
             for cell in &net.cells {
-                if cell.inputs.len() != cell_arity(cell) {
-                    continue;
+                if cell_arity(cell) != Some(cell.inputs.len()) {
+                    continue; // wrong arity, or an opaque instance
                 }
                 let inputs: Vec<Value> =
                     cell.inputs.iter().map(|s| signal_value(&values, s)).collect();
-                let out = match cell.func {
-                    CellFunc::Gate(kind) => eval_gate(kind, &inputs),
+                let out = match &cell.func {
+                    CellFunc::Gate(kind) => eval_gate(*kind, &inputs),
                     CellFunc::Alias => inputs[0],
+                    CellFunc::Instance(_) => unreachable!("instances have no fixed arity"),
                 };
                 if signal_value(&values, &cell.output) != out {
                     values.insert(cell.output.as_str(), out);
@@ -419,7 +558,7 @@ pub fn lint_raw(net: &RawNetlist, parse_errors: &[ParseError]) -> LintReport {
         }
         for cell in &net.cells {
             if let (CellFunc::Gate(_), Value::Known(v)) =
-                (cell.func, signal_value(&values, &cell.output))
+                (&cell.func, signal_value(&values, &cell.output))
             {
                 diags.push(Diagnostic::new(
                     LintRule::ConstantCone,
@@ -462,6 +601,7 @@ fn signal_name(signal: Signal) -> String {
 pub fn raw_from_netlist(netlist: &Netlist) -> RawNetlist {
     let mut raw = RawNetlist {
         name: netlist.name().to_string(),
+        line: 0,
         inputs: (0..netlist.n_inputs()).map(|i| format!("i{i}")).collect(),
         outputs: (0..netlist.n_outputs()).map(|k| format!("o{k}")).collect(),
         wires: (0..netlist.gate_count()).map(|g| format!("w{g}")).collect(),
@@ -549,6 +689,92 @@ mod tests {
         assert!(!report.has_errors());
         assert_eq!(report.matching(LintRule::ConstantCone).len(), 2);
         assert_eq!(report.matching(LintRule::DeadGate).len(), 1);
+    }
+
+    #[test]
+    fn instance_port_width_mismatch_is_an_error() {
+        use crate::parse::parse_verilog_library;
+        let src = "\
+module leaf (
+    input  wire a,
+    input  wire b,
+    output wire y
+);
+    and g0 (y, a, b);
+endmodule
+module top (
+    input  wire x0,
+    input  wire x1,
+    output wire z
+);
+    wire w0;
+    leaf u0 (w0, x0, x1);
+    leaf u1 (z, w0, x0, x1);
+    ghost u2 (z, x0);
+endmodule
+";
+        let (modules, errors) = parse_verilog_library(src);
+        assert!(errors.is_empty(), "{errors:?}");
+        let reports = lint_library(&modules, &errors);
+        assert!(!reports[0].has_errors(), "leaf is clean: {:?}", reports[0].diagnostics);
+        let top = &reports[1];
+        let mismatches = top.matching(LintRule::PortWidthMismatch);
+        assert_eq!(mismatches.len(), 2, "{:?}", top.diagnostics);
+        assert!(mismatches.iter().any(|d| d.message.contains("u1")));
+        assert!(mismatches.iter().any(|d| d.message.contains("undeclared module")));
+    }
+
+    #[test]
+    fn correctly_connected_instances_are_clean() {
+        use crate::parse::parse_verilog_library;
+        let src = "\
+module ha (
+    input  wire a,
+    input  wire b,
+    output wire s,
+    output wire c
+);
+    xor g0 (s, a, b);
+    and g1 (c, a, b);
+endmodule
+module top (
+    input  wire x0,
+    input  wire x1,
+    output wire s,
+    output wire c
+);
+    ha u0 (s, c, x0, x1);
+endmodule
+";
+        let (modules, errors) = parse_verilog_library(src);
+        assert!(errors.is_empty(), "{errors:?}");
+        let reports = lint_library(&modules, &errors);
+        for r in &reports {
+            assert!(!r.has_errors(), "{}: {:?}", r.module, r.diagnostics);
+        }
+    }
+
+    #[test]
+    fn duplicate_gates_warn_including_commuted_operands() {
+        let report = lint_source(
+            "module m (\n    input  wire i0,\n    input  wire i1,\n    output wire o0\n);\n\
+             wire w0, w1, w2;\n    xor g0 (w0, i0, i1);\n    xor g1 (w1, i1, i0);\n\
+             and  g2 (w2, w0, w1);\n    assign o0 = w2;\nendmodule\n",
+        );
+        assert!(!report.has_errors(), "{:?}", report.diagnostics);
+        let dups = report.matching(LintRule::DuplicateGate);
+        assert_eq!(dups.len(), 1, "{:?}", report.diagnostics);
+        assert!(dups[0].message.contains("g0"));
+    }
+
+    #[test]
+    fn mux_operand_order_is_not_commutative_for_duplicates() {
+        let report = lint_source(
+            "module m (\n    input  wire i0,\n    input  wire i1,\n    input  wire i2,\n\
+             output wire o0\n);\n    wire w0, w1;\n    assign w0 = i2 ? i0 : i1;\n\
+             assign w1 = i2 ? i1 : i0;\n    xor g0 (o0, w0, w1);\nendmodule\n",
+        );
+        assert!(report.matching(LintRule::DuplicateGate).is_empty(), "{:?}", report.diagnostics);
     }
 
     #[test]

@@ -1,8 +1,11 @@
 //! A line-oriented parser for the Verilog subset that `xlac_logic::verilog`
-//! emits (and that `hdl/` ships): one module per file, scalar
-//! `input`/`output wire` ports, one `wire` declaration line, gate
-//! primitives, and `assign` statements (plain aliases or 2:1 mux
-//! conditionals).
+//! emits (and that `hdl/` ships): scalar `input`/`output wire` ports,
+//! `wire` declaration lines, gate primitives, `assign` statements (plain
+//! aliases or 2:1 mux conditionals), and module instantiations with
+//! positional connections (output ports first, then inputs — the same
+//! operand convention as the gate primitives). [`parse_verilog_library`]
+//! accepts several modules per file; [`parse_verilog`] keeps the
+//! historical one-module-per-file contract.
 //!
 //! Parsing is deliberately lenient: unrecognized lines become
 //! [`ParseError`]s (surfaced by the linter as `XL000` diagnostics) and
@@ -21,12 +24,15 @@ pub struct ParseError {
 }
 
 /// The function of one parsed cell.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CellFunc {
     /// A gate primitive or mux conditional.
     Gate(GateKind),
     /// A plain `assign lhs = rhs;` alias.
     Alias,
+    /// An instantiation of the named module, with positional connections
+    /// (outputs first, then inputs — the gate-primitive convention).
+    Instance(String),
 }
 
 /// One driver in the netlist: a gate instance or an assign.
@@ -50,6 +56,8 @@ pub struct RawCell {
 pub struct RawNetlist {
     /// Module name.
     pub name: String,
+    /// 1-based line of the `module` header (0 for converted netlists).
+    pub line: usize,
     /// Input port names, in declaration order.
     pub inputs: Vec<String>,
     /// Output port names, in declaration order.
@@ -92,11 +100,29 @@ fn split_instance(rest: &str) -> Option<(String, Vec<String>)> {
     Some((name, operands))
 }
 
-/// Parses one source file. Returns the module (if a `module` header was
-/// found) plus every unparseable line.
+/// Parses one source file under the one-module-per-file contract: the
+/// first module is returned and any further `module` header is an error.
 #[must_use]
 pub fn parse_verilog(source: &str) -> (Option<RawNetlist>, Vec<ParseError>) {
-    let mut module: Option<RawNetlist> = None;
+    let (mut modules, mut errors) = parse_verilog_library(source);
+    if modules.len() > 1 {
+        for extra in modules.split_off(1) {
+            errors.push(ParseError {
+                line: extra.line,
+                message: "second module declaration".into(),
+            });
+        }
+        errors.sort_by_key(|e| e.line);
+    }
+    (modules.pop(), errors)
+}
+
+/// Parses a source file that may declare several modules (a *library*:
+/// leaf cells plus the composed netlists instantiating them). Returns the
+/// modules in declaration order plus every unparseable line.
+#[must_use]
+pub fn parse_verilog_library(source: &str) -> (Vec<RawNetlist>, Vec<ParseError>) {
+    let mut modules: Vec<RawNetlist> = Vec::new();
     let mut errors = Vec::new();
     let mut in_header = false;
     let err = |line: usize, message: String, errors: &mut Vec<ParseError>| {
@@ -111,20 +137,16 @@ pub fn parse_verilog(source: &str) -> (Option<RawNetlist>, Vec<ParseError>) {
         }
 
         if let Some(rest) = line.strip_prefix("module ") {
-            if module.is_some() {
-                err(line_no, "second module declaration".into(), &mut errors);
-                continue;
-            }
             let name = rest.trim_end_matches('(').trim().to_string();
             if !is_identifier(&name) {
                 err(line_no, format!("bad module name {name:?}"), &mut errors);
                 continue;
             }
-            module = Some(RawNetlist { name, ..RawNetlist::default() });
+            modules.push(RawNetlist { name, line: line_no, ..RawNetlist::default() });
             in_header = true;
             continue;
         }
-        let Some(net) = module.as_mut() else {
+        let Some(net) = modules.last_mut() else {
             err(line_no, "statement outside a module".into(), &mut errors);
             continue;
         };
@@ -214,7 +236,8 @@ pub fn parse_verilog(source: &str) -> (Option<RawNetlist>, Vec<ParseError>) {
             }
             continue;
         }
-        // Gate primitive: `nand g3 (w3, i0, w1);`
+        // Gate primitive `nand g3 (w3, i0, w1);` or module instance
+        // `ApxFA2 u0 (s, cout, a, b, cin);` — outputs first either way.
         let Some(stmt) = line.strip_suffix(';') else {
             err(line_no, format!("unrecognized statement {line:?}"), &mut errors);
             continue;
@@ -222,12 +245,21 @@ pub fn parse_verilog(source: &str) -> (Option<RawNetlist>, Vec<ParseError>) {
         let mut parts = stmt.splitn(2, char::is_whitespace);
         let prim = parts.next().unwrap_or_default();
         let rest = parts.next().unwrap_or_default();
-        let Some(kind) = GateKind::from_verilog_primitive(prim) else {
-            err(line_no, format!("unknown primitive {prim:?}"), &mut errors);
-            continue;
+        let func = match GateKind::from_verilog_primitive(prim) {
+            Some(kind) => CellFunc::Gate(kind),
+            None if is_identifier(prim) => CellFunc::Instance(prim.to_string()),
+            None => {
+                err(line_no, format!("unknown primitive {prim:?}"), &mut errors);
+                continue;
+            }
         };
         let Some((name, mut operands)) = split_instance(rest) else {
-            err(line_no, format!("bad instance syntax {line:?}"), &mut errors);
+            match func {
+                CellFunc::Instance(_) => {
+                    err(line_no, format!("unrecognized statement {line:?}"), &mut errors);
+                }
+                _ => err(line_no, format!("bad instance syntax {line:?}"), &mut errors),
+            }
             continue;
         };
         if operands.is_empty() {
@@ -235,16 +267,10 @@ pub fn parse_verilog(source: &str) -> (Option<RawNetlist>, Vec<ParseError>) {
             continue;
         }
         let output = operands.remove(0);
-        net.cells.push(RawCell {
-            name,
-            func: CellFunc::Gate(kind),
-            output,
-            inputs: operands,
-            line: line_no,
-        });
+        net.cells.push(RawCell { name, func, output, inputs: operands, line: line_no });
     }
 
-    (module, errors)
+    (modules, errors)
 }
 
 #[cfg(test)]
@@ -296,6 +322,48 @@ endmodule
         assert_eq!(errors[0].line, 5);
         let net = module.unwrap();
         assert_eq!(net.cells.len(), 1);
+    }
+
+    #[test]
+    fn parses_a_multi_module_library_with_instances() {
+        let src = "\
+module leaf (
+    input  wire a,
+    input  wire b,
+    output wire y
+);
+    and g0 (y, a, b);
+endmodule
+
+module top (
+    input  wire x0,
+    input  wire x1,
+    output wire z
+);
+    leaf u0 (z, x0, x1);
+endmodule
+";
+        let (modules, errors) = parse_verilog_library(src);
+        assert!(errors.is_empty(), "{errors:?}");
+        assert_eq!(modules.len(), 2);
+        assert_eq!(modules[0].name, "leaf");
+        assert_eq!(modules[1].name, "top");
+        let inst = &modules[1].cells[0];
+        assert_eq!(inst.func, CellFunc::Instance("leaf".into()));
+        assert_eq!(inst.name, "u0");
+        assert_eq!(inst.output, "z");
+        assert_eq!(inst.inputs, ["x0", "x1"]);
+    }
+
+    #[test]
+    fn single_module_contract_flags_extra_modules() {
+        let src = "module a (\n    input  wire i0,\n    output wire o0\n);\n\
+                   assign o0 = i0;\nendmodule\nmodule b (\n    input  wire i0,\n\
+                   output wire o0\n);\nassign o0 = i0;\nendmodule\n";
+        let (module, errors) = parse_verilog(src);
+        assert_eq!(module.unwrap().name, "a");
+        assert_eq!(errors.len(), 1);
+        assert!(errors[0].message.contains("second module"));
     }
 
     #[test]

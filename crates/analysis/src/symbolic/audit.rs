@@ -1,0 +1,324 @@
+//! Bound-vs-exact soundness audit: every PR 2 static [`ErrorBound`]
+//! checked against the provable metrics of [`super::metrics`].
+//!
+//! The static layer promises *sound* over-approximation: for every input
+//! vector, `approx − exact ≤ bound.over` and `exact − approx ≤
+//! bound.under`, with `mean_abs` and `error_rate_bound` sound under
+//! uniform primary inputs. Until now that promise was spot-checked by
+//! sampling ([`crate::validate`]). This module turns it into a closed
+//! regression: for every shipped configuration with 8-bit-and-under
+//! operands (≤ 16 primary input bits) the exact WCE / directional
+//! extremes / error rate / MED are computed on BDDs and compared field by
+//! field against the static bound. Any exact value exceeding its bound is
+//! an unsoundness — `xlac-lint --exact` fails on it — and the recorded
+//! slack (`bound − exact`) measures how conservative the abstract domain
+//! really is, per configuration.
+
+use std::fmt::Write as _;
+
+use xlac_adders::{Adder, FullAdderKind, GeArAdder, RippleCarryAdder, Subtractor};
+use xlac_multipliers::{
+    Mul2x2Kind, Multiplier, SumMode, TruncatedMultiplier, WallaceMultiplier,
+};
+
+use super::bdd::{Bdd, Ref, FALSE};
+use super::compile::interleaved_operand_vars;
+use super::metrics::{exact_metrics, ExactMetrics};
+use super::twins;
+use crate::bound::ErrorBound;
+use crate::components;
+
+/// Relative tolerance for the floating-point bound fields (`mean_abs`,
+/// `error_rate_bound`): the exact side is accumulated in integer model
+/// counts and divided once, the bound side may round differently, so a
+/// few ulps of headroom keep the comparison about soundness rather than
+/// float formatting.
+const FLOAT_SLOP: f64 = 1e-9;
+
+/// One configuration's static bound laid side by side with its exact
+/// metrics, plus the per-field soundness verdicts.
+#[derive(Debug, Clone)]
+pub struct BoundAudit {
+    /// Configuration name (the component's own `name()`).
+    pub name: String,
+    /// Primary input bits of the audited datapath.
+    pub n_inputs: usize,
+    /// Static worst-case bound, `max(over, under)`.
+    pub bound_wce: u128,
+    /// Exact worst-case error.
+    pub exact_wce: u128,
+    /// `bound_wce − exact_wce` (how conservative the static domain is).
+    pub wce_slack: u128,
+    /// Static overshoot bound vs exact largest overshoot.
+    pub bound_over: u128,
+    /// Exact largest overshoot.
+    pub exact_over: u128,
+    /// Static undershoot bound vs exact largest undershoot.
+    pub bound_under: u128,
+    /// Exact largest undershoot.
+    pub exact_under: u128,
+    /// Static uniform-input error-rate bound.
+    pub bound_error_rate: f64,
+    /// Exact uniform-input error rate.
+    pub exact_error_rate: f64,
+    /// Static uniform-input mean-absolute-error bound.
+    pub bound_mean_abs: f64,
+    /// Exact mean error distance.
+    pub exact_med: f64,
+    /// `true` when every exact field is within its bound — the soundness
+    /// contract of DESIGN.md §9, now proven rather than sampled.
+    pub sound: bool,
+}
+
+impl BoundAudit {
+    fn new(name: String, n_inputs: usize, bound: &ErrorBound, exact: &ExactMetrics) -> Self {
+        let sound = bound.over >= exact.max_overshoot
+            && bound.under >= exact.max_undershoot
+            && bound.wce() >= exact.worst_case_error
+            && bound.error_rate_bound + FLOAT_SLOP >= exact.error_rate
+            && bound.mean_abs + FLOAT_SLOP >= exact.mean_error_distance;
+        BoundAudit {
+            name,
+            n_inputs,
+            bound_wce: bound.wce(),
+            exact_wce: exact.worst_case_error,
+            wce_slack: bound.wce().saturating_sub(exact.worst_case_error),
+            bound_over: bound.over,
+            exact_over: exact.max_overshoot,
+            bound_under: bound.under,
+            exact_under: exact.max_undershoot,
+            bound_error_rate: bound.error_rate_bound,
+            exact_error_rate: exact.error_rate,
+            bound_mean_abs: bound.mean_abs,
+            exact_med: exact.mean_error_distance,
+            sound,
+        }
+    }
+}
+
+/// Audits one two-operand datapath: builds a fresh manager with the
+/// interleaved order, compiles the approximate twin and the exact
+/// reference, and compares the metrics against the static bound.
+fn audit_pair(
+    name: String,
+    width: usize,
+    bound: &ErrorBound,
+    twin: impl FnOnce(&mut Bdd, &[Ref], &[Ref]) -> Vec<Ref>,
+    reference: impl FnOnce(&mut Bdd, &[Ref], &[Ref]) -> Vec<Ref>,
+) -> BoundAudit {
+    let mut bdd = Bdd::new();
+    let (a, b) = interleaved_operand_vars(&mut bdd, width);
+    let approx = twin(&mut bdd, &a, &b);
+    let exact = reference(&mut bdd, &a, &b);
+    let metrics = exact_metrics(&mut bdd, &approx, &exact, 2 * width);
+    BoundAudit::new(name, 2 * width, bound, &metrics)
+}
+
+/// Runs the full audit: every shipped configuration whose operand width
+/// admits exact analysis (8-bit-and-under datapaths, plus the 2×2
+/// elementary blocks). The larger GeAr geometries (22–32 input bits)
+/// stay covered by the sampled [`crate::validate`] checks.
+#[must_use]
+pub fn audit_bounds() -> Vec<BoundAudit> {
+    let mut audits = Vec::new();
+
+    // Ripple adders: 8-bit, 4 approximate LSB cells, all five Table III
+    // approximate full adders. Exact reference: a + b with carry-out.
+    for kind in FullAdderKind::APPROXIMATE {
+        let rca = RippleCarryAdder::with_approx_lsbs(8, kind, 4)
+            .expect("shipped configuration");
+        let bound = components::ripple_adder_bound(&rca);
+        audits.push(audit_pair(
+            rca.name(),
+            8,
+            &bound,
+            |bdd, a, b| twins::ripple_adder(bdd, &rca, a, b),
+            |bdd, a, b| twins::add_exact(bdd, a, b, FALSE),
+        ));
+    }
+
+    // The one GeAr geometry with ≤ 16 input bits. Plain (uncorrected)
+    // addition — exactly what the static bound covers.
+    let gear = GeArAdder::new(8, 2, 2).expect("shipped configuration");
+    let bound = components::gear_adder_bound(&gear);
+    audits.push(audit_pair(
+        gear.name(),
+        8,
+        &bound,
+        |bdd, a, b| twins::gear_adder(bdd, &gear, a, b, 0),
+        |bdd, a, b| twins::add_exact(bdd, a, b, FALSE),
+    ));
+
+    // Subtractors over each approximate ripple core. Exact reference:
+    // the same datapath built on an accurate adder, i.e. |a − b|.
+    for kind in FullAdderKind::APPROXIMATE {
+        let sub = Subtractor::new(
+            RippleCarryAdder::with_approx_lsbs(8, kind, 4).expect("shipped configuration"),
+        );
+        let bound = components::subtractor_bound(&sub);
+        let exact_sub = Subtractor::new(RippleCarryAdder::accurate(8));
+        audits.push(audit_pair(
+            sub.name(),
+            8,
+            &bound,
+            |bdd, a, b| twins::subtractor(bdd, &sub, a, b).0,
+            |bdd, a, b| twins::subtractor(bdd, &exact_sub, a, b).0,
+        ));
+    }
+
+    // Elementary 2×2 blocks (Fig. 5): 4 primary inputs.
+    for kind in Mul2x2Kind::ALL {
+        let bound = components::mul2x2_bound(kind);
+        audits.push(audit_pair(
+            format!("mul2x2_{kind}"),
+            2,
+            &bound,
+            |bdd, a, b| twins::mul2x2(bdd, kind, a[0], a[1], b[0], b[1]).to_vec(),
+            |bdd, a, b| {
+                twins::mul2x2(bdd, Mul2x2Kind::Accurate, a[0], a[1], b[0], b[1]).to_vec()
+            },
+        ));
+    }
+
+    // 8-bit recursive multipliers: every block kind × both summation
+    // modes, as shipped by `builtin_profiles`.
+    for block in Mul2x2Kind::ALL {
+        for sum in [
+            SumMode::Accurate,
+            SumMode::ApproxLsbs { kind: FullAdderKind::Apx2, lsbs: 2 },
+        ] {
+            let mul = xlac_multipliers::RecursiveMultiplier::new(8, block, sum)
+                .expect("shipped configuration");
+            let bound = components::recursive_multiplier_bound(&mul);
+            audits.push(audit_pair(
+                mul.name(),
+                8,
+                &bound,
+                |bdd, a, b| twins::recursive_multiplier(bdd, 8, block, sum, a, b),
+                twins::mul_exact,
+            ));
+        }
+    }
+
+    // 8-bit Wallace trees with approximate low columns.
+    for (kind, cols) in [
+        (FullAdderKind::Apx2, 4),
+        (FullAdderKind::Apx4, 8),
+        (FullAdderKind::Apx5, 8),
+    ] {
+        let mul = WallaceMultiplier::new(8, kind, cols).expect("shipped configuration");
+        let bound = components::wallace_bound(&mul);
+        audits.push(audit_pair(
+            mul.name(),
+            8,
+            &bound,
+            |bdd, a, b| twins::wallace_multiplier(bdd, &mul, a, b),
+            twins::mul_exact,
+        ));
+    }
+
+    // 8-bit truncated multipliers, compensated and not.
+    for (dropped, compensated) in [(2, false), (4, true), (6, true)] {
+        let mul = TruncatedMultiplier::new(8, dropped, compensated)
+            .expect("shipped configuration");
+        let bound = components::truncated_bound(&mul);
+        audits.push(audit_pair(
+            mul.name(),
+            8,
+            &bound,
+            |bdd, a, b| twins::truncated_multiplier(bdd, &mul, a, b),
+            twins::mul_exact,
+        ));
+    }
+
+    audits
+}
+
+/// Serializes the audit table as a JSON array (hand-rolled like every
+/// other report in the workspace — the build stays dependency-free).
+#[must_use]
+pub fn audits_to_json(audits: &[BoundAudit]) -> String {
+    let mut out = String::from("[\n");
+    for (i, a) in audits.iter().enumerate() {
+        let _ = write!(
+            out,
+            "  {{\"name\": {:?}, \"n_inputs\": {}, \"bound_wce\": {}, \"exact_wce\": {}, \
+             \"wce_slack\": {}, \"bound_over\": {}, \"exact_over\": {}, \"bound_under\": {}, \
+             \"exact_under\": {}, \"bound_error_rate\": {:.9}, \"exact_error_rate\": {:.9}, \
+             \"bound_mean_abs\": {:.9}, \"exact_med\": {:.9}, \"sound\": {}}}",
+            a.name,
+            a.n_inputs,
+            a.bound_wce,
+            a.exact_wce,
+            a.wce_slack,
+            a.bound_over,
+            a.exact_over,
+            a.bound_under,
+            a.exact_under,
+            a.bound_error_rate,
+            a.exact_error_rate,
+            a.bound_mean_abs,
+            a.exact_med,
+            a.sound
+        );
+        out.push_str(if i + 1 == audits.len() { "\n" } else { ",\n" });
+    }
+    out.push_str("]\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_static_bound_is_sound_against_exact_metrics() {
+        let audits = audit_bounds();
+        assert!(audits.len() >= 20, "expected the full config sweep, got {}", audits.len());
+        for a in &audits {
+            assert!(
+                a.sound,
+                "{}: bound (over {}, under {}, rate {}, mean {}) vs exact \
+                 (over {}, under {}, rate {}, med {})",
+                a.name,
+                a.bound_over,
+                a.bound_under,
+                a.bound_error_rate,
+                a.bound_mean_abs,
+                a.exact_over,
+                a.exact_under,
+                a.exact_error_rate,
+                a.exact_med
+            );
+        }
+    }
+
+    #[test]
+    fn mul_exact_matches_scalar_multiplication() {
+        let mut bdd = Bdd::new();
+        let (a, b) = interleaved_operand_vars(&mut bdd, 4);
+        let p = twins::mul_exact(&mut bdd, &a, &b);
+        for x in 0..16u64 {
+            for y in 0..16u64 {
+                let mut assignment = 0u64;
+                for i in 0..4 {
+                    assignment |= ((x >> i) & 1) << (2 * i);
+                    assignment |= ((y >> i) & 1) << (2 * i + 1);
+                }
+                let mut got = 0u64;
+                for (k, &bit) in p.iter().enumerate() {
+                    got |= u64::from(bdd.eval(bit, assignment)) << k;
+                }
+                assert_eq!(got, x * y, "{x} * {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn json_report_carries_slack_per_configuration() {
+        let audits = &audit_bounds()[..3];
+        let json = audits_to_json(audits);
+        assert!(json.contains("\"wce_slack\""));
+        assert!(json.contains("\"sound\": true"));
+    }
+}

@@ -1,0 +1,554 @@
+//! The ROBDD package: hash-consed nodes, memoized ITE, model counting.
+//!
+//! A classic reduced ordered binary decision diagram manager in the style
+//! of Brace/Rudell/Bryant, sized for the workspace's datapaths (tens of
+//! variables, hundreds of thousands of nodes). Nodes live in one arena
+//! (`Bdd::nodes`); structural sharing is enforced by a unique table, so
+//! **two equal functions always have the same [`Ref`]** — equivalence
+//! checking is pointer comparison, which is what turns the sampled checks
+//! of `xlac_logic::equiv` into proofs.
+//!
+//! Complement edges are deliberately left out (the paper-scale circuits
+//! don't need the factor-of-two, and plain nodes keep counting and
+//! traversal simple); negation goes through the memoized ITE like every
+//! other operator.
+//!
+//! Variable order is chosen by the *caller* (variable index = level).
+//! For the two-operand datapaths in this workspace the compile layer
+//! interleaves the operand bits LSB-first (`a0, b0, a1, b1, …`), the
+//! standard ordering under which ripple-carry and tree adders/multipliers
+//! stay polynomial-sized.
+//!
+//! # Example
+//!
+//! ```
+//! use xlac_analysis::symbolic::bdd::{Bdd, TRUE};
+//!
+//! let mut bdd = Bdd::new();
+//! let a = bdd.var(0);
+//! let b = bdd.var(1);
+//! let f = bdd.xor(a, b);
+//! let not_b = bdd.not(b);
+//! let g = bdd.ite(a, not_b, b);
+//! assert_eq!(f, g); // canonicity: equal functions, equal refs
+//! assert_eq!(bdd.sat_count(f, 2), 2); // 01 and 10
+//! assert_eq!(bdd.sat_count(TRUE, 5), 32);
+//! ```
+
+use std::collections::HashMap;
+
+/// A handle to a BDD node (an index into the manager's arena).
+///
+/// Because the manager hash-conses every node, two `Ref`s are equal **iff**
+/// the functions they denote are equal (under the manager's variable
+/// order) — `==` on `Ref` is formal equivalence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Ref(u32);
+
+/// The constant-false function.
+pub const FALSE: Ref = Ref(0);
+/// The constant-true function.
+pub const TRUE: Ref = Ref(1);
+
+/// Variable index stored on terminal nodes: sorts after every real
+/// variable, so terminals never win the top-variable comparison.
+const TERMINAL_VAR: u32 = u32::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    var: u32,
+    lo: Ref,
+    hi: Ref,
+}
+
+/// Aggregate counters of the manager, reported through `xlac-bench`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BddStats {
+    /// Total nodes in the arena (including the two terminals).
+    pub nodes: usize,
+    /// ITE cache lookups performed.
+    pub ite_lookups: u64,
+    /// ITE cache lookups that hit.
+    pub ite_hits: u64,
+}
+
+impl BddStats {
+    /// Fraction of ITE lookups answered from the memo table.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        if self.ite_lookups == 0 {
+            0.0
+        } else {
+            self.ite_hits as f64 / self.ite_lookups as f64
+        }
+    }
+}
+
+/// The BDD manager: node arena, unique table and ITE memo.
+#[derive(Debug)]
+pub struct Bdd {
+    nodes: Vec<Node>,
+    unique: HashMap<(u32, Ref, Ref), Ref>,
+    ite_memo: HashMap<(Ref, Ref, Ref), Ref>,
+    ite_lookups: u64,
+    ite_hits: u64,
+}
+
+impl Default for Bdd {
+    fn default() -> Self {
+        Bdd::new()
+    }
+}
+
+impl Bdd {
+    /// An empty manager holding only the two terminal nodes.
+    #[must_use]
+    pub fn new() -> Self {
+        Bdd {
+            nodes: vec![
+                Node { var: TERMINAL_VAR, lo: FALSE, hi: FALSE },
+                Node { var: TERMINAL_VAR, lo: TRUE, hi: TRUE },
+            ],
+            unique: HashMap::new(),
+            ite_memo: HashMap::new(),
+            ite_lookups: 0,
+            ite_hits: 0,
+        }
+    }
+
+    /// The projection function of variable `i` (level `i` in the order).
+    pub fn var(&mut self, i: usize) -> Ref {
+        let v = u32::try_from(i).expect("variable index fits in u32");
+        assert!(v < TERMINAL_VAR, "variable index {i} reserved for terminals");
+        self.mk(v, FALSE, TRUE)
+    }
+
+    /// The constant function for `value`.
+    #[must_use]
+    pub fn constant(value: bool) -> Ref {
+        if value {
+            TRUE
+        } else {
+            FALSE
+        }
+    }
+
+    fn node(&self, f: Ref) -> Node {
+        self.nodes[f.0 as usize]
+    }
+
+    /// Reduced, hash-consed node constructor.
+    fn mk(&mut self, var: u32, lo: Ref, hi: Ref) -> Ref {
+        if lo == hi {
+            return lo; // reduction rule: redundant test
+        }
+        if let Some(&r) = self.unique.get(&(var, lo, hi)) {
+            return r; // sharing rule: node already exists
+        }
+        let r = Ref(u32::try_from(self.nodes.len()).expect("node arena fits in u32"));
+        self.nodes.push(Node { var, lo, hi });
+        self.unique.insert((var, lo, hi), r);
+        r
+    }
+
+    /// If-then-else: the canonical universal connective,
+    /// `ite(f, g, h) = f·g + !f·h`, with memoization.
+    pub fn ite(&mut self, f: Ref, g: Ref, h: Ref) -> Ref {
+        // Terminal short-circuits that need no cache.
+        if f == TRUE {
+            return g;
+        }
+        if f == FALSE {
+            return h;
+        }
+        if g == h {
+            return g;
+        }
+        if g == TRUE && h == FALSE {
+            return f;
+        }
+
+        self.ite_lookups += 1;
+        if let Some(&r) = self.ite_memo.get(&(f, g, h)) {
+            self.ite_hits += 1;
+            return r;
+        }
+
+        let (nf, ng, nh) = (self.node(f), self.node(g), self.node(h));
+        let top = nf.var.min(ng.var).min(nh.var);
+        let (f0, f1) = cofactor(f, nf, top);
+        let (g0, g1) = cofactor(g, ng, top);
+        let (h0, h1) = cofactor(h, nh, top);
+        let lo = self.ite(f0, g0, h0);
+        let hi = self.ite(f1, g1, h1);
+        let r = self.mk(top, lo, hi);
+        self.ite_memo.insert((f, g, h), r);
+        r
+    }
+
+    /// Logical negation.
+    pub fn not(&mut self, f: Ref) -> Ref {
+        self.ite(f, FALSE, TRUE)
+    }
+
+    /// Conjunction.
+    pub fn and(&mut self, f: Ref, g: Ref) -> Ref {
+        self.ite(f, g, FALSE)
+    }
+
+    /// Disjunction.
+    pub fn or(&mut self, f: Ref, g: Ref) -> Ref {
+        self.ite(f, TRUE, g)
+    }
+
+    /// Exclusive or.
+    pub fn xor(&mut self, f: Ref, g: Ref) -> Ref {
+        let ng = self.not(g);
+        self.ite(f, ng, g)
+    }
+
+    /// Exclusive nor (equivalence).
+    pub fn xnor(&mut self, f: Ref, g: Ref) -> Ref {
+        let ng = self.not(g);
+        self.ite(f, g, ng)
+    }
+
+    /// Negated conjunction.
+    pub fn nand(&mut self, f: Ref, g: Ref) -> Ref {
+        let ng = self.not(g);
+        self.ite(f, ng, TRUE)
+    }
+
+    /// Negated disjunction.
+    pub fn nor(&mut self, f: Ref, g: Ref) -> Ref {
+        let ng = self.not(g);
+        self.ite(f, FALSE, ng)
+    }
+
+    /// Two-way multiplexer: `sel ? d1 : d0`.
+    pub fn mux(&mut self, sel: Ref, d0: Ref, d1: Ref) -> Ref {
+        self.ite(sel, d1, d0)
+    }
+
+    /// The cofactor `f[var := val]`.
+    pub fn restrict(&mut self, f: Ref, var: usize, val: bool) -> Ref {
+        let v = u32::try_from(var).expect("variable index fits in u32");
+        let mut memo = HashMap::new();
+        self.restrict_rec(f, v, val, &mut memo)
+    }
+
+    fn restrict_rec(&mut self, f: Ref, var: u32, val: bool, memo: &mut HashMap<Ref, Ref>) -> Ref {
+        let n = self.node(f);
+        if n.var > var {
+            // Ordered BDD: once below `var`'s level (or at a terminal),
+            // the variable no longer occurs.
+            return f;
+        }
+        if let Some(&r) = memo.get(&f) {
+            return r;
+        }
+        let r = if n.var == var {
+            if val {
+                n.hi
+            } else {
+                n.lo
+            }
+        } else {
+            let lo = self.restrict_rec(n.lo, var, val, memo);
+            let hi = self.restrict_rec(n.hi, var, val, memo);
+            self.mk(n.var, lo, hi)
+        };
+        memo.insert(f, r);
+        r
+    }
+
+    /// Functional composition `f[var := g]`, via the Shannon identity
+    /// `f[var := g] = ite(g, f[var := 1], f[var := 0])`.
+    pub fn compose(&mut self, f: Ref, var: usize, g: Ref) -> Ref {
+        let f1 = self.restrict(f, var, true);
+        let f0 = self.restrict(f, var, false);
+        self.ite(g, f1, f0)
+    }
+
+    /// Number of satisfying assignments of `f` over `n_vars` variables
+    /// (every variable index occurring in `f` must be `< n_vars`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n_vars > 127` (the count must fit in `u128`) or when a
+    /// node variable is out of range.
+    #[must_use]
+    pub fn sat_count(&self, f: Ref, n_vars: usize) -> u128 {
+        assert!(n_vars <= 127, "sat_count supports at most 127 variables");
+        let n = u32::try_from(n_vars).expect("checked above");
+        let mut memo: HashMap<Ref, u128> = HashMap::new();
+        let below = self.sat_count_rec(f, n, &mut memo);
+        below << self.level(f, n)
+    }
+
+    /// Level of a node, with terminals pinned to `n_vars`.
+    fn level(&self, f: Ref, n_vars: u32) -> u32 {
+        let v = self.node(f).var;
+        if v == TERMINAL_VAR {
+            n_vars
+        } else {
+            assert!(v < n_vars, "node variable {v} out of range 0..{n_vars}");
+            v
+        }
+    }
+
+    /// Satisfying assignments over the variables `level(f)..n_vars`.
+    fn sat_count_rec(&self, f: Ref, n_vars: u32, memo: &mut HashMap<Ref, u128>) -> u128 {
+        if f == FALSE {
+            return 0;
+        }
+        if f == TRUE {
+            return 1;
+        }
+        if let Some(&c) = memo.get(&f) {
+            return c;
+        }
+        let n = self.node(f);
+        let lo = self.sat_count_rec(n.lo, n_vars, memo) << (self.level(n.lo, n_vars) - n.var - 1);
+        let hi = self.sat_count_rec(n.hi, n_vars, memo) << (self.level(n.hi, n_vars) - n.var - 1);
+        let c = lo + hi;
+        memo.insert(f, c);
+        c
+    }
+
+    /// One satisfying assignment of `f`, packed as variable `i` → bit `i`
+    /// (variables the function does not test are 0). `None` iff `f` is
+    /// unsatisfiable.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a tested variable index is ≥ 64.
+    #[must_use]
+    pub fn any_sat(&self, f: Ref) -> Option<u64> {
+        if f == FALSE {
+            return None;
+        }
+        let mut assignment = 0u64;
+        let mut cur = f;
+        while cur != TRUE {
+            let n = self.node(cur);
+            assert!(n.var < 64, "any_sat packs assignments into u64");
+            // At least one branch is satisfiable (reduced BDDs have no
+            // FALSE-only interior nodes on every path).
+            if n.lo == FALSE {
+                assignment |= 1 << n.var;
+                cur = n.hi;
+            } else {
+                cur = n.lo;
+            }
+        }
+        Some(assignment)
+    }
+
+    /// All satisfying assignments of `f` over `n_vars` variables, in
+    /// increasing numeric order. Intended for small witness sets (the
+    /// caller should bound `sat_count` first).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n_vars > 64`.
+    #[must_use]
+    pub fn all_sat(&self, f: Ref, n_vars: usize) -> Vec<u64> {
+        assert!(n_vars <= 64, "all_sat packs assignments into u64");
+        let mut out = Vec::new();
+        for x in 0..(1u128 << n_vars) {
+            let x = x as u64;
+            if self.eval(f, x) {
+                out.push(x);
+            }
+        }
+        out
+    }
+
+    /// Evaluates `f` under the assignment packing variable `i` at bit `i`.
+    #[must_use]
+    pub fn eval(&self, f: Ref, assignment: u64) -> bool {
+        let mut cur = f;
+        loop {
+            if cur == TRUE {
+                return true;
+            }
+            if cur == FALSE {
+                return false;
+            }
+            let n = self.node(cur);
+            cur = if n.var < 64 && (assignment >> n.var) & 1 == 1 {
+                n.hi
+            } else {
+                n.lo
+            };
+        }
+    }
+
+    /// Number of nodes reachable from `f` (the size of that function's
+    /// diagram, terminals included).
+    #[must_use]
+    pub fn reachable_size(&self, roots: &[Ref]) -> usize {
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack: Vec<Ref> = roots.to_vec();
+        let mut count = 0usize;
+        while let Some(r) = stack.pop() {
+            let idx = r.0 as usize;
+            if seen[idx] {
+                continue;
+            }
+            seen[idx] = true;
+            count += 1;
+            let n = self.nodes[idx];
+            if n.var != TERMINAL_VAR {
+                stack.push(n.lo);
+                stack.push(n.hi);
+            }
+        }
+        count
+    }
+
+    /// Manager-wide counters.
+    #[must_use]
+    pub fn stats(&self) -> BddStats {
+        BddStats {
+            nodes: self.nodes.len(),
+            ite_lookups: self.ite_lookups,
+            ite_hits: self.ite_hits,
+        }
+    }
+}
+
+/// Shannon cofactors of `f` (with node `n`) at level `top`.
+fn cofactor(f: Ref, n: Node, top: u32) -> (Ref, Ref) {
+    if n.var == top {
+        (n.lo, n.hi)
+    } else {
+        (f, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminals_are_fixed() {
+        let bdd = Bdd::new();
+        assert_eq!(bdd.stats().nodes, 2);
+        assert_eq!(Bdd::constant(false), FALSE);
+        assert_eq!(Bdd::constant(true), TRUE);
+    }
+
+    #[test]
+    fn canonicity_of_simple_identities() {
+        let mut bdd = Bdd::new();
+        let a = bdd.var(0);
+        let b = bdd.var(1);
+        // De Morgan: !(a·b) == !a + !b
+        let ab = bdd.and(a, b);
+        let lhs = bdd.not(ab);
+        let na = bdd.not(a);
+        let nb = bdd.not(b);
+        let rhs = bdd.or(na, nb);
+        assert_eq!(lhs, rhs);
+        // Double negation.
+        let nna = bdd.not(na);
+        assert_eq!(nna, a);
+        // xor via nand-network
+        let n1 = bdd.nand(a, b);
+        let n2 = bdd.nand(a, n1);
+        let n3 = bdd.nand(b, n1);
+        let x = bdd.nand(n2, n3);
+        let direct = bdd.xor(a, b);
+        assert_eq!(x, direct);
+    }
+
+    #[test]
+    fn sat_count_matches_enumeration() {
+        let mut bdd = Bdd::new();
+        let vars: Vec<Ref> = (0..4).map(|i| bdd.var(i)).collect();
+        // maj(v0, v1, v2) ignoring v3.
+        let t0 = bdd.and(vars[0], vars[1]);
+        let t1 = bdd.and(vars[0], vars[2]);
+        let t2 = bdd.and(vars[1], vars[2]);
+        let t01 = bdd.or(t0, t1);
+        let maj = bdd.or(t01, t2);
+        let mut expected = 0u128;
+        for x in 0u64..16 {
+            let ones = (x & 1) + ((x >> 1) & 1) + ((x >> 2) & 1);
+            if ones >= 2 {
+                expected += 1;
+            }
+        }
+        assert_eq!(bdd.sat_count(maj, 4), expected);
+        assert_eq!(bdd.all_sat(maj, 4).len() as u128, expected);
+    }
+
+    #[test]
+    fn any_sat_finds_a_model() {
+        let mut bdd = Bdd::new();
+        let a = bdd.var(0);
+        let b = bdd.var(1);
+        let nb = bdd.not(b);
+        let f = bdd.and(a, nb);
+        let m = bdd.any_sat(f).unwrap();
+        assert!(bdd.eval(f, m));
+        assert_eq!(m, 0b01);
+        assert_eq!(bdd.any_sat(FALSE), None);
+        assert_eq!(bdd.any_sat(TRUE), Some(0));
+    }
+
+    #[test]
+    fn restrict_and_compose() {
+        let mut bdd = Bdd::new();
+        let a = bdd.var(0);
+        let b = bdd.var(1);
+        let c = bdd.var(2);
+        let f = {
+            let bc = bdd.or(b, c);
+            bdd.and(a, bc)
+        };
+        let f1 = bdd.restrict(f, 0, true);
+        let bc = bdd.or(b, c);
+        assert_eq!(f1, bc);
+        assert_eq!(bdd.restrict(f, 0, false), FALSE);
+        // f[b := a·c]: the result no longer tests b, so evaluating on any
+        // assignment must agree with substituting g's value for b.
+        let g = bdd.and(a, c);
+        let composed = bdd.compose(f, 1, g);
+        for x in 0u64..8 {
+            let av = x & 1 == 1;
+            let cv = (x >> 2) & 1 == 1;
+            let bv = av && cv; // g(x)
+            let expect = av && (bv || cv);
+            assert_eq!(bdd.eval(composed, x), expect, "x = {x:03b}");
+        }
+    }
+
+    #[test]
+    fn ite_memo_is_exercised() {
+        let mut bdd = Bdd::new();
+        let vars: Vec<Ref> = (0..8).map(|i| bdd.var(i)).collect();
+        let mut acc = TRUE;
+        for _ in 0..3 {
+            for &v in &vars {
+                acc = bdd.xor(acc, v);
+            }
+        }
+        let s = bdd.stats();
+        assert!(s.ite_hits > 0, "repeated structures must hit the memo");
+        assert!(s.hit_rate() > 0.0 && s.hit_rate() <= 1.0);
+    }
+
+    #[test]
+    fn reachable_size_counts_shared_nodes_once() {
+        let mut bdd = Bdd::new();
+        let a = bdd.var(0);
+        let b = bdd.var(1);
+        let f = bdd.xor(a, b);
+        let size = bdd.reachable_size(&[f, f]);
+        // xor over 2 vars: 1 root + 2 nodes for var1 + 2 terminals = 5.
+        assert_eq!(size, 5);
+    }
+}

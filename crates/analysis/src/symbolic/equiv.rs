@@ -1,0 +1,104 @@
+//! Formal equivalence checking on BDD roots.
+//!
+//! Canonicity makes this almost trivial: two circuits compiled against
+//! the *same* input variables are the same boolean function iff their
+//! root [`Ref`]s are equal, bit for bit. When they are not, the XOR
+//! miter of the first differing bit is satisfiable and any model of it
+//! is a concrete counterexample input. This replaces the sampled
+//! `xlac_logic::equiv::check_equivalence` for CI gating: a passing
+//! verdict here is a proof over all 2ⁿ inputs, not a statistical check.
+
+use super::bdd::{Bdd, Ref, FALSE};
+
+/// Outcome of a proof attempt between two output vectors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// The circuits are the same function on every input assignment.
+    Proven,
+    /// The circuits differ; the payload locates and witnesses it.
+    Counterexample(Counterexample),
+}
+
+/// A concrete refutation of a claimed equivalence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Counterexample {
+    /// Index of the first output bit whose functions differ.
+    pub output_bit: usize,
+    /// An input assignment (packed over the BDD variables) on which that
+    /// bit differs.
+    pub input: u64,
+}
+
+impl Verdict {
+    /// `true` for [`Verdict::Proven`].
+    #[must_use]
+    pub fn is_proven(&self) -> bool {
+        matches!(self, Verdict::Proven)
+    }
+}
+
+/// Proves or refutes that two output vectors (over shared input
+/// variables) denote the same function. The shorter vector is
+/// zero-extended, so e.g. a `w`-bit and a `w+1`-bit encoding of the same
+/// value agree iff the extra bit is constant false.
+pub fn prove_outputs_equal(bdd: &mut Bdd, lhs: &[Ref], rhs: &[Ref]) -> Verdict {
+    let m = lhs.len().max(rhs.len());
+    for i in 0..m {
+        let l = lhs.get(i).copied().unwrap_or(FALSE);
+        let r = rhs.get(i).copied().unwrap_or(FALSE);
+        if l == r {
+            continue; // canonical: equal refs ⇒ equal functions
+        }
+        let miter = bdd.xor(l, r);
+        debug_assert_ne!(miter, FALSE, "unequal refs must have a satisfiable miter");
+        let input = bdd.any_sat(miter).expect("non-FALSE miter is satisfiable");
+        return Verdict::Counterexample(Counterexample { output_bit: i, input });
+    }
+    Verdict::Proven
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbolic::compile::compile_truth_table;
+    use xlac_adders::FullAdderKind;
+
+    #[test]
+    fn equal_functions_are_proven() {
+        let mut bdd = Bdd::new();
+        let vars: Vec<Ref> = (0..3).map(|i| bdd.var(i)).collect();
+        let tt = FullAdderKind::Accurate.truth_table();
+        let f = compile_truth_table(&mut bdd, &tt, &vars);
+        let g = compile_truth_table(&mut bdd, &tt, &vars);
+        assert!(prove_outputs_equal(&mut bdd, &f, &g).is_proven());
+    }
+
+    #[test]
+    fn differing_functions_yield_a_real_counterexample() {
+        let mut bdd = Bdd::new();
+        let vars: Vec<Ref> = (0..3).map(|i| bdd.var(i)).collect();
+        let acc = FullAdderKind::Accurate.truth_table();
+        let apx = FullAdderKind::Apx1.truth_table();
+        let f = compile_truth_table(&mut bdd, &acc, &vars);
+        let g = compile_truth_table(&mut bdd, &apx, &vars);
+        match prove_outputs_equal(&mut bdd, &f, &g) {
+            Verdict::Proven => panic!("ApxFA1 is not the accurate FA"),
+            Verdict::Counterexample(cex) => {
+                // Replay the counterexample on the truth tables.
+                let want = acc.output_bit(cex.input, cex.output_bit);
+                let got = apx.output_bit(cex.input, cex.output_bit);
+                assert_ne!(want, got, "counterexample must actually differ");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_extension_is_respected() {
+        let mut bdd = Bdd::new();
+        let x = bdd.var(0);
+        let not_x = bdd.not(x);
+        let or = bdd.or(x, not_x); // constant TRUE tail bit
+        assert!(prove_outputs_equal(&mut bdd, &[x], &[x, FALSE]).is_proven());
+        assert!(!prove_outputs_equal(&mut bdd, &[x], &[x, or]).is_proven());
+    }
+}

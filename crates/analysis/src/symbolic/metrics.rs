@@ -1,0 +1,292 @@
+//! Exact error metrics from the XOR-miter between two symbolic circuits.
+//!
+//! Given the output BDDs of an approximate circuit and its accurate
+//! reference over the *same* input variables, every error statistic the
+//! paper characterizes designs by is a (weighted) model-counting question
+//! on the miter:
+//!
+//! * **error rate** — models of `∨_i (approx_i ⊕ exact_i)` over 2ⁿ;
+//! * **per-bit flip probability** — models of each `approx_i ⊕ exact_i`;
+//! * **mean error distance** — the signed difference `D = approx − exact`
+//!   is built symbolically (two's-complement subtract, one guard bit),
+//!   its absolute value taken with a sign mux, and `MED = Σ_k 2^k ·
+//!   |{x : |D|(x) has bit k set}| / 2ⁿ` by counting each magnitude bit;
+//! * **worst-case error** — a greedy MSB-down walk over the magnitude
+//!   bits: keep the constraint set where every higher bit is pinned to
+//!   its best achievable value, take bit k iff the constraint conjoined
+//!   with bit k is satisfiable. The final constraint is non-empty and
+//!   any satisfying assignment is a concrete witness input.
+//!
+//! Everything is exact integer/rational arithmetic on `u128` model
+//! counts — no sampling, no floating-point accumulation error beyond the
+//! final division into `f64` for the reported rates.
+
+use super::bdd::{Bdd, Ref, FALSE, TRUE};
+
+/// Exact error statistics of an approximate circuit against its accurate
+/// reference, computed by weighted model counting on BDDs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExactMetrics {
+    /// Number of primary input bits (the model-count denominator is 2ⁿ).
+    pub n_inputs: usize,
+    /// Worst-case absolute error `max_x |approx(x) − exact(x)|`.
+    pub worst_case_error: u128,
+    /// One input assignment (packed over the BDD variables) that realizes
+    /// the worst-case error.
+    pub worst_case_witness: u64,
+    /// Largest overshoot `max_x (approx(x) − exact(x))`, 0 when the
+    /// circuit never overshoots.
+    pub max_overshoot: u128,
+    /// Largest undershoot `max_x (exact(x) − approx(x))`, 0 when the
+    /// circuit never undershoots.
+    pub max_undershoot: u128,
+    /// Number of input assignments on which any output bit differs.
+    pub error_count: u128,
+    /// `error_count / 2^n_inputs`.
+    pub error_rate: f64,
+    /// `Σ_x |approx(x) − exact(x)| / 2^n_inputs`, exactly accumulated.
+    pub mean_error_distance: f64,
+    /// Per-output-bit probability that the bit differs from the
+    /// reference (index = output bit position).
+    pub bit_flip_probability: Vec<f64>,
+}
+
+impl ExactMetrics {
+    /// `true` when the two circuits are the same function.
+    #[must_use]
+    pub fn is_exact(&self) -> bool {
+        self.error_count == 0
+    }
+}
+
+/// Computes the full exact metric set for `approx` against `exact` over
+/// `n_inputs` shared input variables. Output vectors may differ in
+/// length; the shorter is zero-extended.
+///
+/// # Panics
+///
+/// Panics when `n_inputs` exceeds 64 (witness assignments are packed in
+/// a `u64`) or an output word is wider than 127 bits.
+pub fn exact_metrics(
+    bdd: &mut Bdd,
+    approx: &[Ref],
+    exact: &[Ref],
+    n_inputs: usize,
+) -> ExactMetrics {
+    assert!(n_inputs <= 64, "witness packing supports at most 64 inputs");
+    let m = approx.len().max(exact.len());
+    assert!(m < 127, "output word too wide for u128 error magnitudes");
+    let denom = 2f64.powi(i32::try_from(n_inputs).expect("n_inputs <= 64"));
+
+    let bit = |v: &[Ref], i: usize| v.get(i).copied().unwrap_or(FALSE);
+
+    // Per-bit miters and the any-difference disjunction.
+    let mut diff = Vec::with_capacity(m);
+    let mut any = FALSE;
+    for i in 0..m {
+        let d = bdd.xor(bit(approx, i), bit(exact, i));
+        any = bdd.or(any, d);
+        diff.push(d);
+    }
+    let error_count = bdd.sat_count(any, n_inputs);
+    let bit_flip_probability = diff
+        .iter()
+        .map(|&d| count_to_rate(bdd.sat_count(d, n_inputs), denom))
+        .collect();
+
+    // Signed difference D = approx − exact over m + 1 bits
+    // (two's-complement subtract with one guard bit; the top bit is the
+    // sign, valid because |D| < 2^m).
+    let mut d_bits = Vec::with_capacity(m + 1);
+    let mut carry = TRUE; // the +1 of the two's complement of `exact`
+    for i in 0..=m {
+        let (ai, ei) = (bit(approx, i), bit(exact, i));
+        let nei = bdd.not(ei);
+        let axe = bdd.xor(ai, nei);
+        d_bits.push(bdd.xor(axe, carry));
+        let gen = bdd.and(ai, nei);
+        let prop = bdd.and(axe, carry);
+        carry = bdd.or(gen, prop);
+    }
+    let sign = d_bits[m];
+
+    // |D|: conditional two's-complement negation under the sign.
+    let mut abs = Vec::with_capacity(m);
+    let mut neg_carry = TRUE;
+    for &di in d_bits.iter().take(m) {
+        let ndi = bdd.not(di);
+        let neg_i = bdd.xor(ndi, neg_carry);
+        neg_carry = bdd.and(ndi, neg_carry);
+        abs.push(bdd.mux(sign, di, neg_i));
+    }
+
+    // MED: each magnitude bit contributes 2^k per model.
+    let mut med_num: u128 = 0;
+    for (k, &ak) in abs.iter().enumerate() {
+        med_num += bdd.sat_count(ak, n_inputs) << k;
+    }
+    let mean_error_distance = count_to_rate(med_num, denom);
+
+    let not_sign = bdd.not(sign);
+    let (worst_case_error, witness) = maximize(bdd, &abs, TRUE);
+    let (max_overshoot, _) = maximize(bdd, &abs, not_sign);
+    let (max_undershoot, _) = maximize(bdd, &abs, sign);
+
+    ExactMetrics {
+        n_inputs,
+        worst_case_error,
+        worst_case_witness: witness,
+        max_overshoot,
+        max_undershoot,
+        error_count,
+        error_rate: count_to_rate(error_count, denom),
+        mean_error_distance,
+        bit_flip_probability,
+    }
+}
+
+/// Maximizes the unsigned word `bits` over the satisfying set of
+/// `constraint` by the greedy MSB-down walk. Returns `(max, witness)`;
+/// when `constraint` is unsatisfiable the maximum is 0 with witness 0
+/// (the natural reading: no assignment, no error contribution).
+fn maximize(bdd: &mut Bdd, bits: &[Ref], constraint: Ref) -> (u128, u64) {
+    if constraint == FALSE {
+        return (0, 0);
+    }
+    let mut c = constraint;
+    let mut value: u128 = 0;
+    for (k, &bk) in bits.iter().enumerate().rev() {
+        let with_bit = bdd.and(c, bk);
+        if with_bit == FALSE {
+            let nbk = bdd.not(bk);
+            c = bdd.and(c, nbk);
+        } else {
+            value |= 1u128 << k;
+            c = with_bit;
+        }
+    }
+    let witness = bdd.any_sat(c).expect("constraint stays satisfiable through the walk");
+    (value, witness)
+}
+
+fn count_to_rate(count: u128, denom: f64) -> f64 {
+    // u128 → f64 is lossy above 2^53; the denominators here are ≤ 2^64
+    // and the rates are reported, not accumulated, so nearest-f64 is the
+    // right rounding.
+    #[allow(clippy::cast_precision_loss)]
+    let c = count as f64;
+    c / denom
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbolic::compile::{compile_truth_table, interleaved_operand_vars};
+    use crate::symbolic::twins;
+    use xlac_adders::{Adder, FullAdderKind, RippleCarryAdder};
+    use xlac_multipliers::Mul2x2Kind;
+
+    /// Brute-force reference for a scalar function pair.
+    fn brute(
+        n_inputs: usize,
+        approx: impl Fn(u64) -> u64,
+        exact: impl Fn(u64) -> u64,
+    ) -> (u128, u128, u128, u128, u128) {
+        let (mut wce, mut over, mut under, mut errs, mut med) = (0u128, 0u128, 0u128, 0u128, 0u128);
+        for x in 0..(1u64 << n_inputs) {
+            let (av, ev) = (approx(x), exact(x));
+            if av != ev {
+                errs += 1;
+            }
+            let (d, o) = if av >= ev { (av - ev, true) } else { (ev - av, false) };
+            let d = u128::from(d);
+            wce = wce.max(d);
+            if o {
+                over = over.max(d);
+            } else {
+                under = under.max(d);
+            }
+            med += d;
+        }
+        (wce, over, under, errs, med)
+    }
+
+    #[test]
+    fn mul2x2_metrics_match_enumeration() {
+        for kind in [Mul2x2Kind::ApxSoA, Mul2x2Kind::ApxOur] {
+            let mut bdd = Bdd::new();
+            let vars: Vec<Ref> = (0..4).map(|i| bdd.var(i)).collect();
+            let att = kind.truth_table();
+            let ett = Mul2x2Kind::Accurate.truth_table();
+            let a = compile_truth_table(&mut bdd, &att, &vars);
+            let e = compile_truth_table(&mut bdd, &ett, &vars);
+            let m = exact_metrics(&mut bdd, &a, &e, 4);
+            let (wce, over, under, errs, med) = brute(
+                4,
+                |x| kind.mul(x & 3, (x >> 2) & 3),
+                |x| (x & 3) * ((x >> 2) & 3),
+            );
+            assert_eq!(m.worst_case_error, wce, "{kind} wce");
+            assert_eq!(m.max_overshoot, over, "{kind} over");
+            assert_eq!(m.max_undershoot, under, "{kind} under");
+            assert_eq!(m.error_count, errs, "{kind} errors");
+            #[allow(clippy::cast_precision_loss)]
+            let med_f = med as f64 / 16.0;
+            assert!((m.mean_error_distance - med_f).abs() < 1e-12, "{kind} med");
+            // The witness must actually realize the worst case.
+            let (av, ev) = (
+                kind.mul(m.worst_case_witness & 3, (m.worst_case_witness >> 2) & 3),
+                (m.worst_case_witness & 3) * ((m.worst_case_witness >> 2) & 3),
+            );
+            assert_eq!(u128::from(av.abs_diff(ev)), m.worst_case_error, "{kind} witness");
+        }
+    }
+
+    #[test]
+    fn ripple_metrics_match_enumeration() {
+        let w = 4;
+        let rca = RippleCarryAdder::with_approx_lsbs(w, FullAdderKind::Apx2, 2).unwrap();
+        let acc = RippleCarryAdder::accurate(w);
+        let mut bdd = Bdd::new();
+        let (a, b) = interleaved_operand_vars(&mut bdd, w);
+        let approx = twins::ripple_adder(&mut bdd, &rca, &a, &b);
+        let exact = twins::ripple_adder(&mut bdd, &acc, &a, &b);
+        let m = exact_metrics(&mut bdd, &approx, &exact, 2 * w);
+        let unpack = |x: u64| {
+            (0..w).fold((0u64, 0u64), |(a, b), i| {
+                (a | (((x >> (2 * i)) & 1) << i), b | (((x >> (2 * i + 1)) & 1) << i))
+            })
+        };
+        let (wce, over, under, errs, _) = brute(
+            2 * w,
+            |x| {
+                let (av, bv) = unpack(x);
+                rca.add(av, bv)
+            },
+            |x| {
+                let (av, bv) = unpack(x);
+                av + bv
+            },
+        );
+        assert_eq!(m.worst_case_error, wce);
+        assert_eq!(m.max_overshoot, over);
+        assert_eq!(m.max_undershoot, under);
+        assert_eq!(m.error_count, errs);
+        assert_eq!(m.bit_flip_probability.len(), w + 1);
+    }
+
+    #[test]
+    fn identical_circuits_have_zero_metrics() {
+        let mut bdd = Bdd::new();
+        let vars: Vec<Ref> = (0..3).map(|i| bdd.var(i)).collect();
+        let tt = FullAdderKind::Accurate.truth_table();
+        let f = compile_truth_table(&mut bdd, &tt, &vars);
+        let g = compile_truth_table(&mut bdd, &tt, &vars);
+        let m = exact_metrics(&mut bdd, &f, &g, 3);
+        assert!(m.is_exact());
+        assert_eq!(m.worst_case_error, 0);
+        assert_eq!(m.error_rate, 0.0);
+        assert_eq!(m.mean_error_distance, 0.0);
+        assert!(m.bit_flip_probability.iter().all(|&p| p == 0.0));
+    }
+}

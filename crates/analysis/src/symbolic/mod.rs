@@ -1,0 +1,45 @@
+//! Exact symbolic analysis: ROBDDs, circuit compilation, provable error
+//! metrics and formal equivalence (DESIGN.md §11).
+//!
+//! The static layer so far bounded errors conservatively
+//! ([`crate::bound`]) and validated the bounds by sampling
+//! ([`crate::validate`]). This module closes the gap with *exact*
+//! answers:
+//!
+//! * [`bdd`] — an in-house reduced ordered BDD package: hash-consed
+//!   nodes, memoized ITE, restrict/compose, model counting, witness
+//!   extraction. Canonical: two equal functions get pointer-equal roots.
+//! * [`compile`] — compiles every circuit representation the workspace
+//!   ships (built netlists, truth tables, parsed `hdl/` modules) into
+//!   one BDD root per output bit over a caller-chosen variable order.
+//! * [`twins`] — symbolic evaluations of the *composed* datapaths
+//!   (ripple/GeAr(+EDC)/subtractor adders; recursive/Wallace/truncated
+//!   multipliers) that mirror the scalar golden models cell for cell.
+//! * [`metrics`] — exact worst-case error (with a concrete witness
+//!   input), error rate, mean error distance and per-bit flip
+//!   probability from the XOR-miter, via weighted model counting.
+//! * [`equiv`] — equivalence proofs between representations, with
+//!   counterexample extraction on refutation.
+//! * [`audit`] — the static [`crate::bound`] layer regressed against the
+//!   exact metrics: every 8-bit-and-under configuration's bound is
+//!   checked for soundness (`bound ⊇ exact`) with per-field slack.
+//! * [`registry`] — the shipped-module proof obligations behind
+//!   `xlac-lint --exact`: for every component, the truth-table model,
+//!   the structural/`hdl/` netlists and the bit-sliced `eval_x64` form
+//!   are the same function.
+
+pub mod audit;
+pub mod bdd;
+pub mod compile;
+pub mod equiv;
+pub mod metrics;
+pub mod registry;
+pub mod twins;
+
+pub use audit::{audit_bounds, audits_to_json, BoundAudit};
+pub use bdd::{Bdd, BddStats, Ref, FALSE, TRUE};
+pub use compile::{
+    apply_gate, compile_netlist, compile_raw, compile_truth_table, interleaved_operand_vars,
+};
+pub use equiv::{prove_outputs_equal, Counterexample, Verdict};
+pub use metrics::{exact_metrics, ExactMetrics};

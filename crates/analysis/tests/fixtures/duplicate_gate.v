@@ -1,0 +1,19 @@
+// lint fixture: structurally equivalent duplicate gates (XL010) — g1
+// recomputes g0's conjunction and g3 recomputes g2's parity with the
+// operands commuted; both cones stay live so only XL010 fires
+module duplicate_gate (
+    input  wire i0,
+    input  wire i1,
+    output wire o0,
+    output wire o1
+);
+    wire w0, w1, w2, w3;
+
+    and  g0 (w0, i0, i1);
+    and  g1 (w1, i0, i1);
+    xor  g2 (w2, i0, i1);
+    xor  g3 (w3, i1, i0);
+
+    or   g4 (o0, w0, w2);
+    or   g5 (o1, w1, w3);
+endmodule

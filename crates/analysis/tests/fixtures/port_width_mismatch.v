@@ -1,0 +1,23 @@
+// lint fixture: a composed netlist whose instances disagree with the
+// leaf module's declaration (XL009) — u1 connects one port too many,
+// u2 instantiates a module that is never declared
+module pwm_leaf (
+    input  wire a,
+    input  wire b,
+    output wire y
+);
+    and g0 (y, a, b);
+endmodule
+
+module port_width_mismatch (
+    input  wire i0,
+    input  wire i1,
+    output wire o0,
+    output wire o1
+);
+    wire w0;
+
+    pwm_leaf u0 (w0, i0, i1);
+    pwm_leaf u1 (o0, w0, i0, i1);
+    pwm_ghost u2 (o1, w0);
+endmodule

@@ -4,8 +4,8 @@
 
 use std::path::Path;
 use std::process::Command;
-use xlac_analysis::lint::{lint_raw, LintRule, Severity};
-use xlac_analysis::parse::parse_verilog;
+use xlac_analysis::lint::{lint_library, lint_raw, LintRule, Severity};
+use xlac_analysis::parse::{parse_verilog, parse_verilog_library};
 
 fn fixture_dir() -> std::path::PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
@@ -59,6 +59,31 @@ fn multi_driven_fixture_errors_on_contention_and_undriven_output() {
 }
 
 #[test]
+fn port_width_mismatch_fixture_errors_on_both_bad_instances() {
+    let path = fixture_dir().join("port_width_mismatch.v");
+    let source = std::fs::read_to_string(&path).unwrap();
+    let (modules, errors) = parse_verilog_library(&source);
+    assert!(errors.is_empty(), "{errors:?}");
+    let reports = lint_library(&modules, &errors);
+    assert!(!reports[0].has_errors(), "leaf module is clean: {:?}", reports[0].diagnostics);
+    let top = &reports[1];
+    assert!(top.has_errors());
+    let mismatches = top.matching(LintRule::PortWidthMismatch);
+    assert_eq!(mismatches.len(), 2, "{:?}", top.diagnostics);
+    assert!(mismatches.iter().any(|d| d.message.contains("u1")));
+    assert!(mismatches.iter().any(|d| d.message.contains("pwm_ghost")));
+}
+
+#[test]
+fn duplicate_gate_fixture_warns_on_both_copies() {
+    let report = lint_fixture("duplicate_gate.v");
+    assert!(!report.has_errors(), "{:?}", report.diagnostics);
+    let dups = report.matching(LintRule::DuplicateGate);
+    assert_eq!(dups.len(), 2, "{:?}", report.diagnostics);
+    assert!(dups.iter().all(|d| d.severity == Severity::Warning));
+}
+
+#[test]
 fn shipped_hdl_directory_is_error_free() {
     let hdl = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../hdl");
     let mut seen = 0usize;
@@ -87,7 +112,7 @@ fn lint_binary_fails_on_the_fixture_directory() {
         .expect("binary runs");
     assert!(!status.status.success(), "fixtures must fail the lint gate");
     let stdout = String::from_utf8_lossy(&status.stdout);
-    for rule in ["XL001", "XL002", "XL003", "XL004", "XL008"] {
+    for rule in ["XL001", "XL002", "XL003", "XL004", "XL008", "XL009"] {
         assert!(stdout.contains(rule), "missing {rule} in:\n{stdout}");
     }
 }
@@ -103,6 +128,24 @@ fn lint_binary_passes_on_the_shipped_hdl() {
         .expect("binary runs");
     let stdout = String::from_utf8_lossy(&status.stdout);
     assert!(status.status.success(), "shipped configs must pass:\n{stdout}");
+}
+
+#[test]
+fn exact_mode_proves_every_shipped_module_and_bound() {
+    let hdl = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../hdl");
+    let status = Command::new(env!("CARGO_BIN_EXE_xlac-lint"))
+        .arg("--exact")
+        .arg("--lint-only")
+        .arg("--hdl-dir")
+        .arg(&hdl)
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&status.stdout);
+    assert!(status.status.success(), "exact gate must pass on shipped modules:\n{stdout}");
+    assert!(stdout.contains("0 refuted"), "{stdout}");
+    assert!(stdout.contains("0 unsound"), "{stdout}");
+    assert!(!stdout.contains("REFUTED"), "{stdout}");
+    assert!(!stdout.contains("UNSOUND"), "{stdout}");
 }
 
 #[test]

@@ -19,6 +19,8 @@
 //! ```
 
 use xlac_adders::{Adder, GeArAdder, GearErrorModel};
+use xlac_analysis::symbolic::compile::interleaved_operand_vars;
+use xlac_analysis::symbolic::{exact_metrics, twins, Bdd};
 use xlac_core::error::Result;
 
 /// One scored GeAr configuration.
@@ -41,11 +43,23 @@ pub struct GearDesignPoint {
     /// Static worst-case error bound from `xlac-analysis` (a sound
     /// ceiling on any error the adder can produce).
     pub wce_bound: u64,
+    /// The *exact* worst-case error proven by the symbolic BDD engine,
+    /// where the width permits (`2n ≤ 16` input bits); `None` for the
+    /// wider Table IV geometries, which keep the analytic bound.
+    pub wce_exact: Option<u64>,
     /// Static bound on the mean error distance under uniform inputs.
     pub mean_error_bound: f64,
 }
 
 impl GearDesignPoint {
+    /// The sharpest available worst-case ceiling: the proven exact WCE
+    /// when the symbolic engine reached this width, the analytic bound
+    /// otherwise. Always sound, so selections on it are safe.
+    #[must_use]
+    pub fn wce_ceiling(&self) -> u64 {
+        self.wce_exact.unwrap_or(self.wce_bound)
+    }
+
     /// A short label like `"R1P9"` (the Table IV row naming).
     #[must_use]
     pub fn label(&self) -> String {
@@ -60,6 +74,22 @@ impl GearDesignPoint {
     pub fn adder(&self) -> Result<GeArAdder> {
         GeArAdder::new(self.n, self.r, self.p)
     }
+}
+
+/// The provable worst-case error of the plain (uncorrected) GeAr adder,
+/// from the symbolic BDD engine, for geometries whose `2n` input bits
+/// stay within exact reach.
+fn exact_gear_wce(gear: &GeArAdder) -> Option<u64> {
+    let n = gear.n();
+    if 2 * n > 16 {
+        return None;
+    }
+    let mut bdd = Bdd::new();
+    let (a, b) = interleaved_operand_vars(&mut bdd, n);
+    let approx = twins::gear_adder(&mut bdd, gear, &a, &b, 0);
+    let exact = twins::add_exact(&mut bdd, &a, &b, xlac_analysis::symbolic::FALSE);
+    let wce = exact_metrics(&mut bdd, &approx, &exact, 2 * n).worst_case_error;
+    Some(u64::try_from(wce).expect("n-bit adder error fits in u64"))
 }
 
 /// Enumerates and scores every valid multi-sub-adder `(R, P)` point for an
@@ -91,6 +121,7 @@ pub fn enumerate_gear_space(n: usize) -> Result<Vec<GearDesignPoint>> {
                 lut_area: gear.lut_area(),
                 delay: gear.hw_cost().delay,
                 wce_bound: gear.worst_case_error(),
+                wce_exact: exact_gear_wce(&gear),
                 mean_error_bound: model.mean_error_distance(),
             });
         }
@@ -180,6 +211,39 @@ mod tests {
                     pair[1].p
                 );
             }
+        }
+    }
+
+    #[test]
+    fn exact_wce_is_proven_and_sharp_at_eight_bits() {
+        let space = enumerate_gear_space(8).unwrap();
+        for pt in &space {
+            let exact = pt.wce_exact.expect("8-bit GeAr is within exact reach");
+            assert!(
+                exact <= pt.wce_bound,
+                "{}: exact {exact} above the analytic bound {}",
+                pt.label(),
+                pt.wce_bound
+            );
+            assert_eq!(pt.wce_ceiling(), exact);
+            // The analytic formula is attained exactly for P = 0.
+            if pt.p == 0 {
+                assert_eq!(exact, pt.wce_bound, "{}: P=0 bound is tight", pt.label());
+            }
+        }
+        // Prediction bits make the formula conservative somewhere.
+        assert!(
+            space.iter().any(|pt| pt.wce_exact.unwrap() < pt.wce_bound),
+            "some P > 0 geometry must beat its analytic ceiling"
+        );
+    }
+
+    #[test]
+    fn wide_geometries_keep_the_analytic_bound() {
+        let space = enumerate_gear_space(11).unwrap();
+        for pt in &space {
+            assert!(pt.wce_exact.is_none(), "{}: 22-input BDD not attempted", pt.label());
+            assert_eq!(pt.wce_ceiling(), pt.wce_bound);
         }
     }
 

@@ -8,11 +8,13 @@
 //! ([`xlac_core::ComponentProfile`]) and hands them to the generic Pareto
 //! machinery — the multiplier counterpart of [`crate::gear_space`].
 //!
-//! Since every configuration also has a *free* static error bound from
-//! `xlac-analysis`, [`enumerate_multiplier_space_prefiltered`] prunes
-//! statically dominated designs before spending any Monte-Carlo budget:
-//! simulation only runs for members of the static `(area, wce-bound)`
-//! Pareto frontier.
+//! Since every configuration also has a *free* static error ceiling from
+//! `xlac-analysis` — the exact worst-case error proven by the symbolic
+//! BDD engine where the width permits, the conservative bound beyond
+//! that — [`enumerate_multiplier_space_prefiltered`] prunes statically
+//! dominated designs before spending any Monte-Carlo budget: simulation
+//! only runs for members of the static `(area, wce-ceiling)` Pareto
+//! frontier.
 //!
 //! # Example
 //!
@@ -38,6 +40,8 @@
 use xlac_adders::FullAdderKind;
 use xlac_analysis::bound::ErrorBound;
 use xlac_analysis::components::{recursive_multiplier_bound, truncated_bound, wallace_bound};
+use xlac_analysis::symbolic::compile::interleaved_operand_vars;
+use xlac_analysis::symbolic::{exact_metrics, twins, Bdd};
 use xlac_core::characterization::HwCost;
 use xlac_core::error::Result;
 use xlac_core::metrics::{exhaustive_binary, ErrorStats};
@@ -79,6 +83,27 @@ impl MulConfig {
             MulConfig::Wallace(m) => wallace_bound(m),
             MulConfig::Truncated(m) => truncated_bound(m),
         }
+    }
+
+    /// The *provable* worst-case error from the symbolic engine, where
+    /// the operand width keeps the BDD tractable (the same `2w ≤ 16`
+    /// cutoff as the exhaustive quality path). `None` beyond it.
+    fn exact_wce(&self) -> Option<u128> {
+        let w = self.as_multiplier().width();
+        if 2 * w > 16 {
+            return None;
+        }
+        let mut bdd = Bdd::new();
+        let (a, b) = interleaved_operand_vars(&mut bdd, w);
+        let approx = match self {
+            MulConfig::Recursive(m) => {
+                twins::recursive_multiplier(&mut bdd, w, m.block(), m.sum_mode(), &a, &b)
+            }
+            MulConfig::Wallace(m) => twins::wallace_multiplier(&mut bdd, m, &a, &b),
+            MulConfig::Truncated(m) => twins::truncated_multiplier(&mut bdd, m, &a, &b),
+        };
+        let exact = twins::mul_exact(&mut bdd, &a, &b);
+        Some(exact_metrics(&mut bdd, &approx, &exact, 2 * w).worst_case_error)
     }
 }
 
@@ -174,10 +199,24 @@ pub struct StaticPoint {
     /// Static worst-case error bound (sound ceiling on any observed
     /// error).
     pub wce_bound: u128,
+    /// The *exact* worst-case error proven by the symbolic BDD engine,
+    /// where the width permits (`2w ≤ 16`); `None` beyond that, where
+    /// only the static bound is available.
+    pub wce_exact: Option<u128>,
     /// Static bound on the mean absolute error under uniform inputs.
     pub mean_bound: f64,
     /// Hardware cost.
     pub cost: HwCost,
+}
+
+impl StaticPoint {
+    /// The sharpest available error ceiling: the proven exact WCE when
+    /// the symbolic engine reached this width, the static bound
+    /// otherwise. Always sound, so pruning on it is safe.
+    #[must_use]
+    pub fn wce_ceiling(&self) -> u128 {
+        self.wce_exact.unwrap_or(self.wce_bound)
+    }
 }
 
 /// The outcome of the statically prefiltered enumeration.
@@ -190,23 +229,31 @@ pub struct PrefilteredSpace {
     pub pruned: Vec<StaticPoint>,
 }
 
-/// `true` when `b` dominates `a` on (area, wce-bound): no worse on both
-/// axes and strictly better on at least one.
+/// `true` when `b` dominates `a` on (area, wce-ceiling): no worse on
+/// both axes and strictly better on at least one. The ceiling is the
+/// exact symbolic WCE where the width permits, so at paper widths the
+/// pruning decision is made on *proven* error, not on the conservative
+/// bound.
 fn statically_dominated(a: &StaticPoint, b: &StaticPoint) -> bool {
     b.cost.area_ge <= a.cost.area_ge
-        && b.wce_bound <= a.wce_bound
-        && (b.cost.area_ge < a.cost.area_ge || b.wce_bound < a.wce_bound)
+        && b.wce_ceiling() <= a.wce_ceiling()
+        && (b.cost.area_ge < a.cost.area_ge || b.wce_ceiling() < a.wce_ceiling())
 }
 
-/// Enumerates the multiplier space with the static error bounds as a
-/// pre-filter: every configuration gets a free `xlac-analysis` bound, the
-/// static `(area, worst-case-error)` Pareto frontier is computed from
-/// those bounds alone, and only frontier members are characterized by
-/// simulation. Because the static wce is a *sound* ceiling, a
+/// Enumerates the multiplier space with static error analysis as a
+/// pre-filter: every configuration gets a free `xlac-analysis` error
+/// ceiling — the *exact* worst-case error proven by the symbolic BDD
+/// engine where the width permits (`2w ≤ 16`), the conservative static
+/// bound beyond that — the `(area, worst-case-error)` Pareto frontier is
+/// computed from those ceilings alone, and only frontier members are
+/// characterized by simulation. Because both ceilings are sound, a
 /// configuration dominated statically (someone else is cheaper **and**
 /// carries a smaller guaranteed-error ceiling) can never redeem itself
 /// under measurement on these axes — pruning it is safe, and the
-/// Monte-Carlo budget concentrates on genuine trade-off candidates.
+/// Monte-Carlo budget concentrates on genuine trade-off candidates. At
+/// paper widths the exact ceilings are often far below the bounds (the
+/// Wallace bound over-estimates by ~60×), so the frontier they induce is
+/// the true one.
 ///
 /// # Errors
 ///
@@ -223,6 +270,7 @@ pub fn enumerate_multiplier_space_prefiltered(
             StaticPoint {
                 name: config.as_multiplier().name(),
                 wce_bound: bound.wce(),
+                wce_exact: config.exact_wce(),
                 mean_bound: bound.mean_abs,
                 cost: config.as_multiplier().hw_cost(),
             }
@@ -322,6 +370,54 @@ mod tests {
                 "{} pruned without a covering frontier member",
                 pruned.name
             );
+        }
+    }
+
+    #[test]
+    fn exact_wce_is_present_and_within_the_bound_at_paper_width() {
+        let pre = enumerate_multiplier_space_prefiltered(8, 2_000).unwrap();
+        // 8-bit operands (16 input bits): every pruned point carries a
+        // proven exact WCE, and it never exceeds the static bound.
+        assert!(!pre.pruned.is_empty());
+        for pt in &pre.pruned {
+            let exact = pt.wce_exact.expect("8-bit configs are provable");
+            assert!(exact <= pt.wce_bound, "{}: exact {exact} > bound {}", pt.name, pt.wce_bound);
+            assert_eq!(pt.wce_ceiling(), exact, "{}: pruning must use the proof", pt.name);
+        }
+        // The exact ceilings genuinely sharpen at least one design (the
+        // Wallace bounds are very conservative).
+        assert!(
+            pre.pruned.iter().any(|pt| pt.wce_exact.unwrap() < pt.wce_bound),
+            "exact analysis should beat at least one static bound"
+        );
+    }
+
+    #[test]
+    fn exact_pruning_never_discards_a_measured_winner() {
+        // The frontier computed on exact WCE is sound against the
+        // measured worst errors: every pruned design is covered by an
+        // evaluated one whose *measured* worst error is no larger than
+        // the pruned design's proven WCE.
+        let pre = enumerate_multiplier_space_prefiltered(8, 2_000).unwrap();
+        for pruned in &pre.pruned {
+            let ceiling = pruned.wce_ceiling();
+            assert!(
+                pre.evaluated.iter().any(|e| {
+                    e.cost.area_ge <= pruned.cost.area_ge
+                        && (e.quality.max_error_distance as u128) <= ceiling
+                }),
+                "{} pruned without a covering frontier member",
+                pruned.name
+            );
+        }
+    }
+
+    #[test]
+    fn sixteen_bit_space_has_no_exact_wce() {
+        let pre = enumerate_multiplier_space_prefiltered(16, 2_000).unwrap();
+        for pt in &pre.pruned {
+            assert!(pt.wce_exact.is_none(), "{}: 32-input BDD not attempted", pt.name);
+            assert_eq!(pt.wce_ceiling(), pt.wce_bound);
         }
     }
 

@@ -8,6 +8,16 @@
 //! *complete* — it is what the optimizer's and elaborator's guarantees
 //! rest on.
 //!
+//! For the CI gate over *shipped* modules this check is complemented by
+//! the symbolic prover in `xlac-analysis::symbolic` (exercised by
+//! `xlac-lint --exact`, DESIGN.md §11): there, every representation is
+//! compiled into a canonical BDD over shared variables, so equivalence
+//! is root identity rather than an input sweep, and a refutation names a
+//! counterexample minterm directly. `check_equivalence` remains the
+//! right tool inside the logic layer itself — optimizer and elaborator
+//! round-trips on arbitrary in-flight netlists, where one 64-way sweep
+//! is cheaper than building a BDD per rewrite.
+//!
 //! # Example
 //!
 //! ```

@@ -11,14 +11,20 @@
 #   4. xlac-lint: static error-bound validation + netlist lint over all
 #      built-in configs and hdl/ (DESIGN.md §9) — any error-severity
 #      diagnostic or unsound bound fails the gate;
-#   5. rustdoc with warnings as errors (broken intra-doc links etc.);
-#   6. the bit-sliced differential suite on its own (DESIGN.md §10) —
+#   5. xlac-lint --exact: the symbolic proof gate (DESIGN.md §11) — for
+#      every shipped module the truth-table model, the hdl/ netlist and
+#      the bit-sliced eval_x64 form are proven the same function, and
+#      every ≤8-bit static bound is checked sound against the exact
+#      BDD metrics; any refuted proof or unsound bound fails the gate;
+#   6. rustdoc with warnings as errors (broken intra-doc links etc.);
+#   7. the bit-sliced differential suite on its own (DESIGN.md §10) —
 #      it is part of step 2 already, but a dedicated invocation keeps
 #      the sliced-vs-scalar lockstep visible as a named gate;
-#   7. a smoke run of the micro-benchmarks (XLAC_BENCH_QUICK) so bench
+#   8. a smoke run of the micro-benchmarks (XLAC_BENCH_QUICK) so bench
 #      bit-rot is caught without spending minutes measuring; the
 #      bitslice bench's JSON lines are recorded into BENCH_bitslice.json
-#      so the scalar-vs-sliced throughput trajectory is tracked in-tree.
+#      and the symbolic engine's into BENCH_symbolic.json so the
+#      throughput and proof-cost trajectories are tracked in-tree.
 #
 # Any failing step exits non-zero immediately (set -e).
 
@@ -48,6 +54,9 @@ fi
 echo "==> xlac-lint (static bounds + netlist lint)"
 cargo run -q --release -p xlac-analysis --offline --bin xlac-lint -- --samples 100000
 
+echo "==> xlac-lint --exact (equivalence proofs + bound soundness audit)"
+cargo run -q --release -p xlac-analysis --offline --bin xlac-lint -- --exact --lint-only
+
 echo "==> cargo doc (offline, warnings as errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc -q --workspace --no-deps --offline
 
@@ -60,5 +69,9 @@ XLAC_BENCH_QUICK=1 cargo bench -q -p xlac-bench --offline >/dev/null
 echo "==> bitslice throughput report (BENCH_bitslice.json)"
 XLAC_BENCH_QUICK=1 cargo bench -q -p xlac-bench --bench bitslice --offline \
     | grep '^{' > BENCH_bitslice.json
+
+echo "==> symbolic engine report (BENCH_symbolic.json)"
+XLAC_BENCH_QUICK=1 cargo bench -q -p xlac-bench --bench symbolic --offline \
+    | grep '^{' > BENCH_symbolic.json
 
 echo "CI OK"

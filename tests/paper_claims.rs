@@ -121,6 +121,96 @@ fn cec_claims() {
     assert!(fixed * 4 < raw, "CEC recovers most error: {fixed} vs {raw}");
 }
 
+/// Fig.5, now *proven*: the exact symbolic engine re-derives the
+/// error-case counts and maximum error values of both 2×2 blocks and
+/// names the input minterms that realize them. ApxMulSoA errs on exactly
+/// one input pair — `3 × 3 → 7` (off by 2) — while ApxMulOur errs on
+/// exactly three pairs, each off by 1, which is why the max-error-1
+/// constraint of the paper's use case admits only the latter.
+#[test]
+fn fig5_error_cases_proven_with_witness_minterms() {
+    use xlac::analysis::symbolic::{exact_metrics, interleaved_operand_vars, twins, Bdd};
+
+    for (kind, want_cases, want_wce) in
+        [(Mul2x2Kind::ApxSoA, 1u128, 2u128), (Mul2x2Kind::ApxOur, 3, 1)]
+    {
+        let mut bdd = Bdd::new();
+        let (a, b) = interleaved_operand_vars(&mut bdd, 2);
+        let approx = twins::mul2x2(&mut bdd, kind, a[0], a[1], b[0], b[1]);
+        let exact = twins::mul2x2(&mut bdd, Mul2x2Kind::Accurate, a[0], a[1], b[0], b[1]);
+        let metrics = exact_metrics(&mut bdd, &approx, &exact, 4);
+
+        assert_eq!(metrics.error_count, want_cases, "{kind}: error-case count");
+        assert_eq!(metrics.worst_case_error, want_wce, "{kind}: worst-case error");
+
+        // Enumerate every erring minterm from the any-difference miter
+        // and check each against the scalar models.
+        let mut miter = xlac::analysis::symbolic::FALSE;
+        for (&x, &y) in approx.iter().zip(&exact) {
+            let diff = bdd.xor(x, y);
+            miter = bdd.or(miter, diff);
+        }
+        let minterms = bdd.all_sat(miter, 4);
+        assert_eq!(minterms.len() as u128, want_cases, "{kind}: minterm enumeration");
+        for m in &minterms {
+            // Interleaved packing: a = bits 0, 2; b = bits 1, 3.
+            let av = (m & 1) | ((m >> 1) & 2);
+            let bv = ((m >> 1) & 1) | ((m >> 2) & 2);
+            assert_ne!(kind.mul(av, bv), av * bv, "{kind}: {av} × {bv} must err");
+        }
+        // The worst-case witness is one of them and realizes the WCE.
+        let w = metrics.worst_case_witness;
+        assert!(minterms.contains(&w), "{kind}: witness is an erring minterm");
+        let av = (w & 1) | ((w >> 1) & 2);
+        let bv = ((w >> 1) & 1) | ((w >> 2) & 2);
+        assert_eq!(
+            u128::from(kind.mul(av, bv).abs_diff(av * bv)),
+            want_wce,
+            "{kind}: witness {av} × {bv} realizes the worst case"
+        );
+        if kind == Mul2x2Kind::ApxSoA {
+            assert_eq!((av, bv), (3, 3), "the SoA block's only error is 3 × 3 → 7");
+        }
+    }
+}
+
+/// Table III, now *proven*: the error-case counts 0, 2, 2, 3, 3, 4 are
+/// model counts of the any-difference miter between each approximate
+/// cell and the accurate cell, and every counted row really errs in the
+/// scalar model (variables a, b, cin at bits 0, 1, 2).
+#[test]
+fn table3_error_cases_proven_by_model_counting() {
+    use xlac::analysis::symbolic::{twins, Bdd, FALSE};
+
+    for kind in FullAdderKind::ALL {
+        let mut bdd = Bdd::new();
+        let vars: Vec<_> = (0..3).map(|i| bdd.var(i)).collect();
+        let (s, c) = twins::full_adder(&mut bdd, kind, vars[0], vars[1], vars[2]);
+        let (es, ec) =
+            twins::full_adder(&mut bdd, FullAdderKind::Accurate, vars[0], vars[1], vars[2]);
+        let ds = bdd.xor(s, es);
+        let dc = bdd.xor(c, ec);
+        let miter = bdd.or(ds, dc);
+
+        assert_eq!(
+            bdd.sat_count(miter, 3),
+            kind.error_cases() as u128,
+            "{kind}: Table III error-case count"
+        );
+        for row in bdd.all_sat(miter, 3) {
+            let (a, b, cin) = (row & 1, (row >> 1) & 1, (row >> 2) & 1);
+            assert_ne!(
+                kind.eval_x64(a, b, cin),
+                FullAdderKind::Accurate.eval_x64(a, b, cin),
+                "{kind}: row a={a} b={b} cin={cin} must err"
+            );
+        }
+        if kind == FullAdderKind::Accurate {
+            assert_eq!(miter, FALSE, "the accurate cell proves equal to itself");
+        }
+    }
+}
+
 /// Section 5 composition claim: approximate multi-bit multipliers save
 /// area and power at 4, 8 and 16 bits, and the savings grow with width.
 #[test]
