@@ -38,6 +38,7 @@
 use xlac_adders::GeArAdder;
 use xlac_core::characterization::HwCost;
 use xlac_core::error::{Result, XlacError};
+use xlac_obs::obs_count;
 
 /// One accumulation run through a cascade, with the detection flags the
 /// CEC unit consumes.
@@ -134,10 +135,22 @@ impl CecUnit {
     /// missing its carry the compensation is approximate, which is the
     /// accepted trade of the CEC design (quality ≈ integrated EDC at a
     /// fraction of the area).
+    ///
+    /// The compensation arithmetic saturates instead of wrapping: a
+    /// hardware offset adder clamps at the register ceiling, and a
+    /// silently wrapped `u64` would report a tiny result for a huge
+    /// accumulated correction. Offsets at or above 64 bits (impossible
+    /// for any constructible GeAr stage, which is narrower than a word)
+    /// also clamp rather than shift-overflow.
     #[must_use]
     pub fn correct(&self, run: &CascadeRun) -> u64 {
-        let compensation: u64 = run.flagged_offsets.iter().map(|&o| 1u64 << o).sum();
-        run.value + compensation
+        obs_count!("accel.cec.corrections", 1);
+        obs_count!("accel.cec.flags", run.flagged_offsets.len() as u64);
+        let compensation = run.flagged_offsets.iter().fold(0u64, |sum, &o| {
+            let offset = u32::try_from(o).ok().and_then(|o| 1u64.checked_shl(o));
+            sum.saturating_add(offset.unwrap_or(u64::MAX))
+        });
+        run.value.saturating_add(compensation)
     }
 
     /// Area comparison for a cascade of `stages` adders of width `n`:
@@ -251,6 +264,19 @@ mod tests {
         // consolidation is a cascade-level optimization.
         let (edc1, cec1) = CecUnit::area_comparison(&g, 1);
         assert!(cec1 > edc1);
+    }
+
+    #[test]
+    fn correction_saturates_instead_of_wrapping() {
+        let cec = CecUnit::new();
+        // Two 2^63 offsets on a near-full accumulator: the mathematical
+        // sum exceeds u64 and must clamp, not wrap to a tiny value.
+        let run = CascadeRun { value: u64::MAX - 1, flagged_offsets: vec![63, 63] };
+        assert_eq!(cec.correct(&run), u64::MAX);
+        // An out-of-word offset (unreachable from a real cascade) clamps
+        // rather than shift-overflowing.
+        let run = CascadeRun { value: 1, flagged_offsets: vec![64] };
+        assert_eq!(cec.correct(&run), u64::MAX);
     }
 
     #[test]

@@ -39,6 +39,15 @@ use xlac_adders::{Adder, Subtractor};
 use xlac_core::bits;
 use xlac_core::error::{Result, XlacError};
 use xlac_multipliers::Multiplier;
+use xlac_obs::{obs_count, obs_span};
+
+/// Constant left shift with wiring semantics: shifting a 64-bit value by
+/// 64 or more produces 0 (every bit falls off the top), never a wrapped
+/// shift amount. `value << amount` would panic in debug builds and
+/// silently use `amount % 64` in release builds.
+fn shl_wired(value: u64, amount: usize) -> u64 {
+    u32::try_from(amount).ok().and_then(|a| value.checked_shl(a)).unwrap_or(0)
+}
 
 /// Identifier of a node inside a [`Dataflow`].
 pub type NodeId = usize;
@@ -313,7 +322,7 @@ impl Dataflow {
                         m.exact(values[lhs], values[rhs])
                     }
                 }
-                Node::Shl { value, amount } => values[value] << amount,
+                Node::Shl { value, amount } => shl_wired(values[value], amount),
             };
         }
         Ok(self.outputs.iter().map(|&o| values[o]).collect())
@@ -327,6 +336,7 @@ impl Dataflow {
     ///
     /// Propagates evaluation errors (no outputs marked).
     pub fn masking_analysis(&self, samples: u64, seed: u64) -> Result<Vec<MaskingReport>> {
+        let _span = obs_span!("accel.masking_analysis");
         let mut rng = DefaultRng::seed_from_u64(seed);
         let operator_nodes: Vec<NodeId> = self
             .nodes
@@ -335,6 +345,8 @@ impl Dataflow {
             .filter(|(_, n)| matches!(n, Node::Add { .. } | Node::AbsDiff { .. } | Node::Mul { .. }))
             .map(|(id, _)| id)
             .collect();
+        obs_count!("accel.masking.nodes", operator_nodes.len() as u64);
+        obs_count!("accel.masking.samples", operator_nodes.len() as u64 * samples);
         let mask = bits::mask(self.input_width);
 
         let mut reports = Vec::with_capacity(operator_nodes.len());
@@ -357,8 +369,11 @@ impl Dataflow {
                     }
                 }
             }
-            let local_rate = local_errors as f64 / samples as f64;
-            let output_rate = output_errors as f64 / samples as f64;
+            // A 0-sample analysis reports explicit zero rates, not 0/0 NaN.
+            let local_rate =
+                if samples == 0 { 0.0 } else { local_errors as f64 / samples as f64 };
+            let output_rate =
+                if samples == 0 { 0.0 } else { output_errors as f64 / samples as f64 };
             let masking = if local_errors == 0 {
                 0.0
             } else {
@@ -411,7 +426,7 @@ impl Dataflow {
                         self.multipliers[op].exact(values[lhs], values[rhs])
                     }
                 }
-                Node::Shl { value, amount } => values[value] << amount,
+                Node::Shl { value, amount } => shl_wired(values[value], amount),
             };
             if id == node {
                 return Ok(values[id]);
@@ -542,6 +557,40 @@ mod tests {
         let r = reports.iter().find(|r| r.node == s).unwrap();
         assert!(r.local_error_rate > 0.0);
         assert!((r.masking_probability - 1.0).abs() < 1e-9, "self-difference masks everything");
+    }
+
+    #[test]
+    fn oversized_shift_clears_instead_of_wrapping() {
+        // amount ≥ 64 is all-bits-off-the-top wiring: the result is 0, in
+        // debug and release builds alike.
+        let mut g = Dataflow::new(1, 8);
+        let a = g.register_adder(Box::new(AccurateAdder::new(8)));
+        let sh64 = g.shl(g.input(0), 64).unwrap();
+        let sh70 = g.shl(g.input(0), 70).unwrap();
+        let s = g.add(a, sh64, sh70).unwrap();
+        g.mark_output(s);
+        assert_eq!(g.eval(&[0xFF]).unwrap(), vec![0]);
+        assert_eq!(g.eval_exact(&[0xFF]).unwrap(), vec![0]);
+        // A 63-bit shift still behaves like a plain shift.
+        let mut g = Dataflow::new(1, 8);
+        let sh = g.shl(g.input(0), 63).unwrap();
+        g.mark_output(sh);
+        assert_eq!(g.eval(&[1]).unwrap(), vec![1u64 << 63]);
+    }
+
+    #[test]
+    fn zero_sample_masking_analysis_has_no_nan() {
+        let mut g = Dataflow::new(2, 8);
+        let apx = g.register_adder(approx_adder(9, 4));
+        let s = g.add(apx, g.input(0), g.input(1)).unwrap();
+        g.mark_output(s);
+        let reports = g.masking_analysis(0, 5).unwrap();
+        assert_eq!(reports.len(), 1);
+        let r = &reports[0];
+        assert_eq!(r.local_error_rate, 0.0);
+        assert_eq!(r.output_error_rate, 0.0);
+        assert_eq!(r.masking_probability, 0.0);
+        assert!(!r.local_error_rate.is_nan() && !r.masking_probability.is_nan());
     }
 
     #[test]

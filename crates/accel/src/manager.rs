@@ -38,6 +38,7 @@
 
 use crate::config::ApproxMode;
 use xlac_core::error::{Result, XlacError};
+use xlac_obs::{obs_count, obs_span};
 
 /// One characterized accelerator configuration (a row of the Fig.7
 /// characterization output).
@@ -87,9 +88,11 @@ impl ApproximationManager {
     /// accurate mode provides) or [`XlacError::EmptyInput`] for an empty
     /// request set.
     pub fn select_min_power(requests: &[AppRequest]) -> Result<Vec<SelectionOutcome>> {
+        let _span = obs_span!("accel.select_min_power");
         if requests.is_empty() {
             return Err(XlacError::EmptyInput("management unit requests"));
         }
+        obs_count!("accel.manager.selections", requests.len() as u64);
         requests
             .iter()
             .map(|req| {
@@ -123,9 +126,11 @@ impl ApproximationManager {
         requests: &[AppRequest],
         power_budget_nw: f64,
     ) -> Result<Vec<SelectionOutcome>> {
+        let _span = obs_span!("accel.select_under_power_budget");
         if requests.is_empty() {
             return Err(XlacError::EmptyInput("management unit requests"));
         }
+        obs_count!("accel.manager.selections", requests.len() as u64);
         let feasible: Vec<Vec<&AcceleratorOption>> = requests
             .iter()
             .map(|req| {
@@ -138,6 +143,7 @@ impl ApproximationManager {
             ));
         }
         let combos: usize = feasible.iter().map(Vec::len).product();
+        obs_count!("accel.manager.combos_examined", combos as u64);
         if combos > 1_000_000 {
             return Err(XlacError::InvalidConfiguration(format!(
                 "{combos} combinations exceed the exhaustive search bound"

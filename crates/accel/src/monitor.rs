@@ -32,6 +32,7 @@
 //! ```
 
 use std::collections::VecDeque;
+use xlac_obs::obs_count;
 
 /// The controller's recommendation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -91,6 +92,7 @@ impl QualityMonitor {
     /// Records a sampled invocation: the approximate result and the exact
     /// re-execution.
     pub fn observe(&mut self, approximate: u64, exact: u64) {
+        obs_count!("accel.monitor.observations", 1);
         self.counter += 1;
         if self.observations.len() == self.window {
             self.observations.pop_front();
@@ -124,12 +126,22 @@ impl QualityMonitor {
     /// relax below 25 % of it, hold in between.
     #[must_use]
     pub fn decision(&self) -> MonitorDecision {
-        match self.mean_error() {
+        let decision = match self.mean_error() {
             None => MonitorDecision::Warmup,
             Some(err) if err > self.tolerance => MonitorDecision::TightenAccuracy,
             Some(err) if err < 0.25 * self.tolerance => MonitorDecision::RelaxAccuracy,
             Some(_) => MonitorDecision::Hold,
+        };
+        if decision == MonitorDecision::TightenAccuracy {
+            obs_count!("accel.monitor.quality_violations", 1);
         }
+        decision
+    }
+
+    /// Records a mode switch acted on by the caller (observability only:
+    /// feeds the `accel.monitor.mode_switches` counter).
+    pub fn note_mode_switch(&mut self) {
+        obs_count!("accel.monitor.mode_switches", 1);
     }
 
     /// Resets the observation window (call after a mode switch so stale

@@ -158,13 +158,15 @@ fn main() -> ExitCode {
     // the bound-vs-exact soundness audit.
     let mut proofs = Vec::new();
     let mut audits = Vec::new();
+    let mut exact_failure = None;
     if opts.exact {
+        // A malformed hdl/ module must surface as a diagnostic that fails
+        // the gate, not abort the run: the lint summary still prints and
+        // the exit code distinguishes "found problems" (1) from "could
+        // not run" (2, reserved for usage/IO errors).
         match prove_all(&opts.hdl_dir) {
             Ok(p) => proofs = p,
-            Err(e) => {
-                eprintln!("xlac-lint: exact pass failed to build: {e}");
-                return ExitCode::from(2);
-            }
+            Err(e) => exact_failure = Some(e),
         }
         audits = audit_bounds();
     }
@@ -217,6 +219,9 @@ fn main() -> ExitCode {
             }
         }
         if opts.exact {
+            if let Some(why) = &exact_failure {
+                out.push_str(&format!("error: exact pass failed to build: {why}\n"));
+            }
             for p in &proofs {
                 let status = match &p.status {
                     ProofStatus::Proven => "proven".to_string(),
@@ -250,8 +255,16 @@ fn main() -> ExitCode {
         }
     }
     let _ = std::io::stdout().write_all(out.as_bytes());
+    if let Some(why) = &exact_failure {
+        eprintln!("xlac-lint: exact pass failed to build: {why}");
+    }
 
-    if errors > 0 || !unsound.is_empty() || refuted > 0 || unsound_audits > 0 {
+    if errors > 0
+        || !unsound.is_empty()
+        || refuted > 0
+        || unsound_audits > 0
+        || exact_failure.is_some()
+    {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS

@@ -109,13 +109,18 @@ fn shannon(bdd: &mut Bdd, tt: &TruthTable, out: usize, inputs: &[Ref], level: us
 ///
 /// # Errors
 ///
-/// Returns a human-readable description of the first obstacle.
-///
-/// # Panics
-///
-/// Panics when `inputs.len()` differs from the module's input port count.
+/// Returns a human-readable description of the first obstacle, including
+/// an input-port count that differs from `inputs.len()` — a malformed or
+/// truncated module must surface as a diagnostic, never a panic.
 pub fn compile_raw(bdd: &mut Bdd, raw: &RawNetlist, inputs: &[Ref]) -> Result<Vec<Ref>, String> {
-    assert_eq!(inputs.len(), raw.inputs.len(), "{}: input arity mismatch", raw.name);
+    if inputs.len() != raw.inputs.len() {
+        return Err(format!(
+            "{}: input arity mismatch ({} ports declared, {} variables bound)",
+            raw.name,
+            raw.inputs.len(),
+            inputs.len()
+        ));
+    }
     let mut env: HashMap<&str, Ref> = HashMap::new();
     for (port, &var) in raw.inputs.iter().zip(inputs) {
         env.insert(port.as_str(), var);

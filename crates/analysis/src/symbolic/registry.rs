@@ -31,6 +31,7 @@ use xlac_adders::hw::{gear_netlist, ripple_netlist};
 use xlac_adders::{Adder, FullAdderKind, GeArAdder, RippleCarryAdder, Subtractor};
 use xlac_core::rng::{Rng, Xoshiro256StarStar};
 use xlac_logic::TruthTable;
+use xlac_obs::{obs_count, obs_gauge, obs_span};
 use xlac_multipliers::{
     ConfigurableMul2x2, Mul2x2Kind, Multiplier, MultiplierX64, RecursiveMultiplier, SumMode,
     TruncatedMultiplier, WallaceMultiplier,
@@ -116,6 +117,7 @@ pub fn proofs_to_json(reports: &[ProofReport]) -> String {
 /// Returns an error when an `hdl/` file is missing or unparseable — a
 /// broken export must fail the gate as loudly as a refuted proof.
 pub fn prove_all(hdl_dir: &Path) -> Result<Vec<ProofReport>, String> {
+    let _span = obs_span!("analysis.prove_all");
     let mut reports = Vec::new();
     reports.extend(full_adder_reports(hdl_dir)?);
     reports.extend(mul2x2_reports(hdl_dir)?);
@@ -168,6 +170,12 @@ fn report(
     family: &[(String, Vec<Ref>)],
     status: ProofStatus,
 ) -> ProofReport {
+    obs_count!("analysis.proofs", 1);
+    if !matches!(status, ProofStatus::Proven) {
+        obs_count!("analysis.refuted", 1);
+    }
+    obs_gauge!("analysis.bdd_nodes", bdd.stats().nodes as f64);
+    obs_gauge!("analysis.memo_hit_rate", bdd.stats().hit_rate());
     ProofReport {
         name,
         n_inputs,
@@ -204,6 +212,7 @@ fn table_from_planes(
 }
 
 fn full_adder_reports(hdl_dir: &Path) -> Result<Vec<ProofReport>, String> {
+    let _span = obs_span!("analysis.full_adders");
     let mut reports = Vec::new();
     for kind in FullAdderKind::ALL {
         let file = format!("{}.v", kind.to_string().to_lowercase());
@@ -229,6 +238,7 @@ fn full_adder_reports(hdl_dir: &Path) -> Result<Vec<ProofReport>, String> {
 }
 
 fn mul2x2_reports(hdl_dir: &Path) -> Result<Vec<ProofReport>, String> {
+    let _span = obs_span!("analysis.mul2x2");
     let mut reports = Vec::new();
     for kind in Mul2x2Kind::ALL {
         let file = format!("{}.v", kind.to_string().to_lowercase());
@@ -251,6 +261,7 @@ fn mul2x2_reports(hdl_dir: &Path) -> Result<Vec<ProofReport>, String> {
 }
 
 fn configurable_mul_reports(hdl_dir: &Path) -> Result<Vec<ProofReport>, String> {
+    let _span = obs_span!("analysis.configurable_mul");
     let mut reports = Vec::new();
     for core in [Mul2x2Kind::ApxSoA, Mul2x2Kind::ApxOur] {
         let cfg = ConfigurableMul2x2::new(core);
@@ -325,6 +336,7 @@ fn interleave(a: u64, b: u64, width: usize) -> u64 {
 }
 
 fn ripple_reports(hdl_dir: &Path) -> Result<Vec<ProofReport>, String> {
+    let _span = obs_span!("analysis.ripple_adders");
     let mut reports = Vec::new();
     for kind in FullAdderKind::APPROXIMATE {
         let file = format!("rca8_{}_lsb4.v", kind.to_string().to_lowercase());
@@ -365,6 +377,7 @@ fn ripple_reports(hdl_dir: &Path) -> Result<Vec<ProofReport>, String> {
 }
 
 fn gear_reports(hdl_dir: &Path) -> Result<Vec<ProofReport>, String> {
+    let _span = obs_span!("analysis.gear_adders");
     let mut reports = Vec::new();
     for (n, r, p, file) in [
         (11usize, 1usize, 9usize, "gear_n11_r1_p9.v"),
@@ -438,6 +451,7 @@ fn sampled_gear_agreement(bdd: &Bdd, twin: &[Ref], gear: &GeArAdder) -> ProofSta
 }
 
 fn composed_multiplier_reports() -> Vec<ProofReport> {
+    let _span = obs_span!("analysis.composed_multipliers");
     let mut reports = Vec::new();
 
     // Recursive multiplier, paper configuration: ApxMulOur blocks with

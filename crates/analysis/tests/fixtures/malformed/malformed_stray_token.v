@@ -1,0 +1,11 @@
+// A structurally complete module polluted with tokens the netlist
+// grammar has no production for: an unknown primitive and a bare word.
+module stray (a, b, y);
+input a;
+input b;
+output y;
+wire w1;
+frobnicate g0 (w1, a, b);
+and g1 (y, w1, b);
+???
+endmodule

@@ -1,0 +1,5 @@
+// A module cut off mid-file: the header opens a port list that the
+// file never finishes, and there is no endmodule.
+module trunc (a, b,
+input a;
+input b

@@ -1,0 +1,8 @@
+// The port list opens but never closes; everything after is swallowed
+// into the header and the body references nets never declared.
+module unclosed (a, b, y
+input a;
+input b;
+output y;
+and g0 (y, a, b);
+endmodule

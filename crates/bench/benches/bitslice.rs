@@ -79,4 +79,12 @@ fn bench_gear_sweep() {
 fn main() {
     bench_multiplier_sweeps();
     bench_gear_sweep();
+    // Under `--features obs` the sweeps above ran instrumented: flush the
+    // registry's counters and span timings as extra JSON lines so
+    // `BENCH_obs.json` carries the profile next to the bench samples.
+    // Disabled builds export the empty string, so this prints nothing.
+    let profile = xlac_obs::export_json_lines();
+    if !profile.is_empty() {
+        print!("{profile}");
+    }
 }

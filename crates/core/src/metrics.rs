@@ -243,9 +243,26 @@ impl ErrorAccumulator {
     }
 
     /// Finalizes the accumulated figures into [`ErrorStats`].
+    ///
+    /// Zero samples finalize to the explicit all-zero statistics — the
+    /// rates and means are defined as `0.0`, never computed as `0/0`
+    /// (which would leak `NaN` into JSON reports downstream).
     #[must_use]
     pub fn finish(&self) -> ErrorStats {
-        let n = self.samples.max(1) as f64;
+        if self.samples == 0 {
+            return ErrorStats {
+                samples: 0,
+                error_count: 0,
+                error_rate: 0.0,
+                mean_error_distance: 0.0,
+                max_error_distance: 0,
+                mean_signed_error: 0.0,
+                mean_relative_error: 0.0,
+                distinct_error_values: BTreeSet::new(),
+                distinct_saturated: false,
+            };
+        }
+        let n = self.samples as f64;
         ErrorStats {
             samples: self.samples,
             error_count: self.error_count,
@@ -400,6 +417,40 @@ mod tests {
     #[should_panic(expected = "too large")]
     fn exhaustive_binary_guards_width() {
         let _ = exhaustive_binary(16, 16, |a, _| a, |a, _| a);
+    }
+
+    #[test]
+    fn zero_samples_finalize_to_explicit_zeros() {
+        let stats = ErrorAccumulator::new().finish();
+        assert_eq!(stats.samples, 0);
+        assert_eq!(stats.error_rate, 0.0);
+        for figure in [
+            stats.error_rate,
+            stats.mean_error_distance,
+            stats.mean_signed_error,
+            stats.mean_relative_error,
+        ] {
+            assert!(figure == 0.0 && !figure.is_nan(), "0-sample figures must be exact zeros");
+        }
+        assert!(stats.distinct_error_values.is_empty());
+        assert!(!stats.distinct_saturated);
+        // Merging empties stays empty.
+        let mut acc = ErrorAccumulator::new();
+        acc.merge(&ErrorAccumulator::new());
+        assert_eq!(acc.finish(), stats);
+    }
+
+    #[test]
+    fn one_sample_statistics_are_well_defined() {
+        let mut acc = ErrorAccumulator::new();
+        acc.push(10, 13);
+        let stats = acc.finish();
+        assert_eq!(stats.samples, 1);
+        assert_eq!(stats.error_rate, 1.0);
+        assert_eq!(stats.mean_error_distance, 3.0);
+        assert_eq!(stats.max_error_distance, 3);
+        assert_eq!(stats.mean_signed_error, 3.0);
+        assert!((stats.mean_relative_error - 0.3).abs() < 1e-12);
     }
 
     #[test]

@@ -22,6 +22,7 @@ use xlac_adders::{Adder, GeArAdder, GearErrorModel};
 use xlac_analysis::symbolic::compile::interleaved_operand_vars;
 use xlac_analysis::symbolic::{exact_metrics, twins, Bdd};
 use xlac_core::error::Result;
+use xlac_obs::{obs_count, obs_span};
 
 /// One scored GeAr configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -103,6 +104,7 @@ fn exact_gear_wce(gear: &GeArAdder) -> Option<u64> {
 ///
 /// Propagates invalid-width errors from the adder constructor.
 pub fn enumerate_gear_space(n: usize) -> Result<Vec<GearDesignPoint>> {
+    let _span = obs_span!("explore.gear_space");
     let mut points = Vec::new();
     for r in 1..n {
         for p in 0..n {
@@ -126,6 +128,7 @@ pub fn enumerate_gear_space(n: usize) -> Result<Vec<GearDesignPoint>> {
             });
         }
     }
+    obs_count!("explore.gear.configs", points.len() as u64);
     Ok(points)
 }
 
@@ -161,9 +164,11 @@ pub fn measure_gear_space(
     seed: u64,
     threads: usize,
 ) -> Result<Vec<MeasuredGearPoint>> {
+    let _span = obs_span!("explore.gear_measure");
     enumerate_gear_space(n)?
         .into_iter()
         .map(|point| {
+            obs_count!("explore.gear.mc_trials", trials);
             let adder = point.adder()?;
             let opts = xlac_sim::SweepOptions::new(trials, seed).threads(threads);
             let stats = xlac_sim::gear_sweep(&adder, None, &opts).stats;

@@ -50,6 +50,7 @@ use xlac_multipliers::{
     Mul2x2Kind, Multiplier, MultiplierX64, RecursiveMultiplier, SumMode, TruncatedMultiplier,
     WallaceMultiplier,
 };
+use xlac_obs::{obs_count, obs_span};
 use xlac_sim::{multiplier_sweep, SweepOptions};
 
 /// One multiplier configuration, kept as its concrete family type so the
@@ -157,8 +158,10 @@ fn quality(config: &MulConfig, samples: u64) -> ErrorStats {
     let m = config.as_multiplier();
     let w = m.width();
     if 2 * w <= 16 {
+        obs_count!("explore.mul.exhaustive_evals", 1);
         exhaustive_binary(w, w, |a, b| a * b, |a, b| m.mul(a, b))
     } else {
+        obs_count!("explore.mul.mc_trials", samples);
         // Beyond exhaustive reach, the Monte-Carlo budget runs through the
         // bit-sliced engine: 64 trials per arithmetic pass, deterministic
         // for any worker count (`xlac-sim`'s chunked runner).
@@ -181,7 +184,10 @@ fn quality(config: &MulConfig, samples: u64) -> ErrorStats {
 ///
 /// Propagates construction errors (invalid width).
 pub fn enumerate_multiplier_space(width: usize, samples: u64) -> Result<Vec<ComponentProfile>> {
-    configurations(width)?
+    let _span = obs_span!("explore.mul_space");
+    let configs = configurations(width)?;
+    obs_count!("explore.mul.configs", configs.len() as u64);
+    configs
         .iter()
         .map(|config| {
             let m = config.as_multiplier();
@@ -262,7 +268,9 @@ pub fn enumerate_multiplier_space_prefiltered(
     width: usize,
     samples: u64,
 ) -> Result<PrefilteredSpace> {
+    let _span = obs_span!("explore.mul_space_prefiltered");
     let configs = configurations(width)?;
+    obs_count!("explore.mul.configs", configs.len() as u64);
     let points: Vec<StaticPoint> = configs
         .iter()
         .map(|config| {
@@ -286,6 +294,8 @@ pub fn enumerate_multiplier_space_prefiltered(
             evaluated.push(ComponentProfile::new(m.name(), m.hw_cost(), quality(config, samples)));
         }
     }
+    obs_count!("explore.mul.pruned", pruned.len() as u64);
+    obs_count!("explore.mul.evaluated", evaluated.len() as u64);
     Ok(PrefilteredSpace { evaluated, pruned })
 }
 

@@ -17,6 +17,7 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use xlac_core::rng::DefaultRng;
+use xlac_obs::{obs_count, obs_span};
 
 /// Default number of trials per chunk. Small enough to load-balance
 /// across workers, large enough that the per-chunk overhead (one RNG
@@ -48,8 +49,11 @@ where
     T: Send,
     F: Fn(usize, u64, DefaultRng) -> T + Sync,
 {
+    let _span = obs_span!("sim.run_chunks");
     let chunk = chunk.max(1);
     let n_chunks = usize::try_from(trials.div_ceil(chunk)).expect("chunk count fits usize");
+    obs_count!("sim.chunks", n_chunks as u64);
+    obs_count!("sim.trials", trials);
     // The stream assignment: one split per chunk, drawn sequentially from
     // the parent before any thread is spawned.
     let mut parent = DefaultRng::seed_from_u64(seed);
@@ -66,7 +70,10 @@ where
                 }
                 let lo = i as u64 * chunk;
                 let n = chunk.min(trials - lo);
-                let result = eval(i, n, rngs[i].clone());
+                let result = {
+                    let _chunk_span = obs_span!("sim.chunk");
+                    eval(i, n, rngs[i].clone())
+                };
                 *slots[i].lock().expect("no panics hold the slot lock") = Some(result);
             });
         }

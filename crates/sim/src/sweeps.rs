@@ -16,6 +16,7 @@ use xlac_core::lanes;
 use xlac_core::metrics::{ErrorAccumulator, ErrorStats};
 use xlac_core::rng::{DefaultRng, Rng};
 use xlac_multipliers::{Multiplier, MultiplierX64};
+use xlac_obs::{obs_count, obs_gauge, obs_span};
 
 /// Configuration of one Monte-Carlo sweep.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -77,12 +78,23 @@ fn merge_chunks(chunks: &[ErrorAccumulator]) -> ErrorStats {
     total.finish()
 }
 
+/// Publishes the merged sweep statistics to the observability registry.
+/// Runs on the caller thread after the deterministic merge, so the
+/// figures never depend on worker scheduling.
+fn record_sweep_stats(stats: &ErrorStats) {
+    obs_count!("sim.sweep.errors", stats.error_count);
+    obs_gauge!("sim.sweep.distinct_error_values", stats.distinct_error_values.len() as f64);
+    obs_gauge!("sim.sweep.distinct_saturated", f64::from(u8::from(stats.distinct_saturated)));
+}
+
 /// Monte-Carlo error sweep of a multiplier on the bit-sliced evaluator:
 /// uniform operand pairs, exact product as reference.
 pub fn multiplier_sweep<M: MultiplierX64 + ?Sized>(m: &M, opts: &SweepOptions) -> ErrorStats {
+    let _span = obs_span!("sim.multiplier_sweep");
     let w = m.width();
     let chunks = run_chunks(opts.trials, opts.seed, opts.threads, opts.chunk, |_, n, mut rng| {
         let mut acc = ErrorAccumulator::new();
+        let mut batches = 0u64;
         let mut remaining = n;
         while remaining > 0 {
             let lanes_n = remaining.min(lanes::LANES as u64) as usize;
@@ -92,11 +104,15 @@ pub fn multiplier_sweep<M: MultiplierX64 + ?Sized>(m: &M, opts: &SweepOptions) -
             for j in 0..lanes_n {
                 acc.push(a[j] * b[j], approx[j]);
             }
+            batches += 1;
             remaining -= lanes_n as u64;
         }
+        obs_count!("sim.sweep.lanes", batches * lanes::LANES as u64);
         acc
     });
-    merge_chunks(&chunks)
+    let stats = merge_chunks(&chunks);
+    record_sweep_stats(&stats);
+    stats
 }
 
 /// The scalar twin of [`multiplier_sweep`]: same operands, evaluated one
@@ -107,6 +123,7 @@ pub fn multiplier_sweep_scalar<M: Multiplier + Sync + ?Sized>(
     m: &M,
     opts: &SweepOptions,
 ) -> ErrorStats {
+    let _span = obs_span!("sim.multiplier_sweep_scalar");
     let w = m.width();
     let chunks = run_chunks(opts.trials, opts.seed, opts.threads, opts.chunk, |_, n, mut rng| {
         let mut acc = ErrorAccumulator::new();
@@ -121,7 +138,9 @@ pub fn multiplier_sweep_scalar<M: Multiplier + Sync + ?Sized>(
         }
         acc
     });
-    merge_chunks(&chunks)
+    let stats = merge_chunks(&chunks);
+    record_sweep_stats(&stats);
+    stats
 }
 
 /// The outcome of a GeAr Monte-Carlo sweep.
@@ -155,10 +174,12 @@ pub fn gear_sweep(
     max_iterations: Option<usize>,
     opts: &SweepOptions,
 ) -> GearSweepResult {
+    let _span = obs_span!("sim.gear_sweep");
     let w = adder.n();
     let chunks = run_chunks(opts.trials, opts.seed, opts.threads, opts.chunk, |_, n, mut rng| {
         let mut acc = ErrorAccumulator::new();
         let (mut det, mut iters) = (0u64, 0u64);
+        let mut batches = 0u64;
         let mut remaining = n;
         while remaining > 0 {
             let lanes_n = remaining.min(lanes::LANES as u64) as usize;
@@ -175,8 +196,10 @@ pub fn gear_sweep(
                 det += u64::from(outcome.errors_detected[j]);
                 iters += u64::from(outcome.correction_iterations[j]);
             }
+            batches += 1;
             remaining -= lanes_n as u64;
         }
+        obs_count!("sim.sweep.lanes", batches * lanes::LANES as u64);
         (acc, det, iters)
     });
     let mut total = ErrorAccumulator::new();
@@ -186,7 +209,11 @@ pub fn gear_sweep(
         detections += det;
         correction_iterations += iters;
     }
-    GearSweepResult { stats: total.finish(), detections, correction_iterations }
+    let stats = total.finish();
+    record_sweep_stats(&stats);
+    obs_count!("sim.gear.detections", detections);
+    obs_count!("sim.gear.correction_iterations", correction_iterations);
+    GearSweepResult { stats, detections, correction_iterations }
 }
 
 /// The scalar twin of [`gear_sweep`] (see [`multiplier_sweep_scalar`]).
@@ -195,6 +222,7 @@ pub fn gear_sweep_scalar(
     max_iterations: Option<usize>,
     opts: &SweepOptions,
 ) -> GearSweepResult {
+    let _span = obs_span!("sim.gear_sweep_scalar");
     let w = adder.n();
     let chunks = run_chunks(opts.trials, opts.seed, opts.threads, opts.chunk, |_, n, mut rng| {
         let mut acc = ErrorAccumulator::new();
@@ -223,7 +251,9 @@ pub fn gear_sweep_scalar(
         detections += det;
         correction_iterations += iters;
     }
-    GearSweepResult { stats: total.finish(), detections, correction_iterations }
+    let stats = total.finish();
+    record_sweep_stats(&stats);
+    GearSweepResult { stats, detections, correction_iterations }
 }
 
 /// The outcome of a SAD Monte-Carlo sweep.
@@ -231,11 +261,13 @@ pub fn gear_sweep_scalar(
 pub struct SadSweepResult {
     /// Error statistics of the approximate SAD against the exact SAD.
     pub stats: ErrorStats,
-    /// Mean squared error of the SAD values.
-    pub mse: f64,
+    /// Mean squared error of the SAD values. `None` for a 0-trial sweep —
+    /// never a `NaN` placeholder.
+    pub mse: Option<f64>,
     /// PSNR derived from `mse` via [`xlac_quality::psnr_from_mse`]
-    /// (8-bit dynamic-range convention).
-    pub psnr: f64,
+    /// (8-bit dynamic-range convention). `None` when no trials ran or
+    /// when the MSE is zero (infinite PSNR, unrepresentable in JSON).
+    pub psnr: Option<f64>,
 }
 
 /// Draws one batch of 64 random block pairs, pixel-slot-major, with 8-bit
@@ -264,18 +296,21 @@ fn merge_sad_chunks(chunks: &[(ErrorAccumulator, Option<f64>, u64)]) -> SadSweep
             n += count;
         }
     }
-    let mse = if n == 0 { 0.0 } else { sum_sq / n as f64 };
-    SadSweepResult { stats: total.finish(), mse, psnr: xlac_quality::psnr_from_mse(mse) }
+    let mse = if n == 0 { None } else { Some(sum_sq / n as f64) };
+    let psnr = mse.filter(|&m| m > 0.0).map(xlac_quality::psnr_from_mse);
+    SadSweepResult { stats: total.finish(), mse, psnr }
 }
 
 /// Monte-Carlo sweep of a SAD accelerator on the bit-sliced datapath:
 /// uniform random block pairs, exact SAD as reference. Each trial is one
 /// block pair; 64 pairs evaluate per datapath pass.
 pub fn sad_sweep(sad: &SadAccelerator, opts: &SweepOptions) -> SadSweepResult {
+    let _span = obs_span!("sim.sad_sweep");
     let slots = sad.lanes();
     let chunks = run_chunks(opts.trials, opts.seed, opts.threads, opts.chunk, |_, n, mut rng| {
         let mut acc = ErrorAccumulator::new();
         let mut pairs: Vec<(u64, u64)> = Vec::new();
+        let mut batches = 0u64;
         let mut remaining = n;
         while remaining > 0 {
             let lanes_n = remaining.min(lanes::LANES as u64) as usize;
@@ -294,16 +329,22 @@ pub fn sad_sweep(sad: &SadAccelerator, opts: &SweepOptions) -> SadSweepResult {
                 acc.push(exact, approx[j]);
                 pairs.push((exact, approx[j]));
             }
+            batches += 1;
             remaining -= lanes_n as u64;
         }
+        obs_count!("sim.sweep.lanes", batches * lanes::LANES as u64);
         let count = pairs.len() as u64;
         (acc, xlac_quality::mse_int_pairs(pairs), count)
     });
-    merge_sad_chunks(&chunks)
+    let result = merge_sad_chunks(&chunks);
+    record_sweep_stats(&result.stats);
+    obs_gauge!("sim.sad.mse", result.mse.unwrap_or(0.0));
+    result
 }
 
 /// The scalar twin of [`sad_sweep`] (see [`multiplier_sweep_scalar`]).
 pub fn sad_sweep_scalar(sad: &SadAccelerator, opts: &SweepOptions) -> SadSweepResult {
+    let _span = obs_span!("sim.sad_sweep_scalar");
     let slots = sad.lanes();
     let chunks = run_chunks(opts.trials, opts.seed, opts.threads, opts.chunk, |_, n, mut rng| {
         let mut acc = ErrorAccumulator::new();
@@ -326,7 +367,9 @@ pub fn sad_sweep_scalar(sad: &SadAccelerator, opts: &SweepOptions) -> SadSweepRe
         let count = pairs.len() as u64;
         (acc, xlac_quality::mse_int_pairs(pairs), count)
     });
-    merge_sad_chunks(&chunks)
+    let result = merge_sad_chunks(&chunks);
+    record_sweep_stats(&result.stats);
+    result
 }
 
 #[cfg(test)]
@@ -363,7 +406,55 @@ mod tests {
         let scalar = sad_sweep_scalar(&sad, &opts);
         assert_eq!(sliced, scalar);
         assert_eq!(sliced.stats.samples, 1_000);
-        assert!(sliced.psnr.is_finite() || sliced.mse == 0.0);
+        let mse = sliced.mse.expect("a 1000-trial sweep has a defined MSE");
+        assert!(mse >= 0.0 && !mse.is_nan());
+        if let Some(psnr) = sliced.psnr {
+            assert!(psnr.is_finite());
+        } else {
+            assert_eq!(mse, 0.0);
+        }
+    }
+
+    #[test]
+    fn zero_trial_sweeps_report_explicit_empties() {
+        let opts = SweepOptions::new(0, 1).chunk(64);
+
+        let m = RecursiveMultiplier::new(8, Mul2x2Kind::ApxSoA, SumMode::Accurate).unwrap();
+        let stats = multiplier_sweep(&m, &opts);
+        assert_eq!(stats.samples, 0);
+        assert!(!stats.error_rate.is_nan() && !stats.mean_error_distance.is_nan());
+
+        let gear = GeArAdder::new(12, 4, 4).unwrap();
+        let g = gear_sweep(&gear, Some(1), &opts);
+        assert_eq!(g.stats.samples, 0);
+        assert_eq!((g.detections, g.correction_iterations), (0, 0));
+        assert_eq!(g, gear_sweep_scalar(&gear, Some(1), &opts));
+
+        let sad = SadAccelerator::new(8, SadVariant::ApxSad3, 3).unwrap();
+        let s = sad_sweep(&sad, &opts);
+        assert_eq!(s.stats.samples, 0);
+        assert!(s.mse.is_none() && s.psnr.is_none());
+        assert_eq!(s, sad_sweep_scalar(&sad, &opts));
+    }
+
+    #[test]
+    fn one_trial_sweeps_are_well_defined() {
+        let opts = SweepOptions::new(1, 0x0DD).chunk(64);
+
+        let m = RecursiveMultiplier::new(8, Mul2x2Kind::ApxSoA, SumMode::Accurate).unwrap();
+        let stats = multiplier_sweep(&m, &opts);
+        assert_eq!(stats.samples, 1);
+        assert_eq!(stats, multiplier_sweep_scalar(&m, &opts));
+
+        let sad = SadAccelerator::new(8, SadVariant::ApxSad3, 3).unwrap();
+        let s = sad_sweep(&sad, &opts);
+        assert_eq!(s.stats.samples, 1);
+        let mse = s.mse.expect("a 1-trial sweep has a defined MSE");
+        assert!(mse >= 0.0 && !mse.is_nan());
+        if let Some(psnr) = s.psnr {
+            assert!(psnr.is_finite());
+        }
+        assert_eq!(s, sad_sweep_scalar(&sad, &opts));
     }
 
     #[test]

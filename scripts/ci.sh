@@ -24,7 +24,14 @@
 #      bit-rot is caught without spending minutes measuring; the
 #      bitslice bench's JSON lines are recorded into BENCH_bitslice.json
 #      and the symbolic engine's into BENCH_symbolic.json so the
-#      throughput and proof-cost trajectories are tracked in-tree.
+#      throughput and proof-cost trajectories are tracked in-tree;
+#   9. the observability layer (DESIGN.md §12): xlac-obs unit tests in
+#      both feature configurations, then the differential + lint +
+#      exact gates re-run under the instrumented build (--features obs)
+#      to prove instrumentation changes no result, and finally the
+#      instrumented bitslice bench recorded into BENCH_obs.json with
+#      xlac-obs-report gating the overhead against BENCH_bitslice.json:
+#      any shared bench whose min_ns regresses more than 5% fails CI.
 #
 # Any failing step exits non-zero immediately (set -e).
 
@@ -66,12 +73,43 @@ cargo test -q --offline --release --test bitslice_differential
 echo "==> bench smoke run (XLAC_BENCH_QUICK=1)"
 XLAC_BENCH_QUICK=1 cargo bench -q -p xlac-bench --offline >/dev/null
 
+# The two bitslice reports feed the observability overhead gate below,
+# so they need real minima: 7 measured samples (quick mode would force 3
+# noisy ones) with a short calibration target.
 echo "==> bitslice throughput report (BENCH_bitslice.json)"
-XLAC_BENCH_QUICK=1 cargo bench -q -p xlac-bench --bench bitslice --offline \
+XLAC_BENCH_SAMPLES=7 XLAC_BENCH_MIN_SAMPLE_MS=1 cargo bench -q -p xlac-bench \
+    --bench bitslice --offline \
     | grep '^{' > BENCH_bitslice.json
 
 echo "==> symbolic engine report (BENCH_symbolic.json)"
 XLAC_BENCH_QUICK=1 cargo bench -q -p xlac-bench --bench symbolic --offline \
     | grep '^{' > BENCH_symbolic.json
+
+echo "==> xlac-obs unit tests (no-op default build, then --features obs)"
+cargo test -q -p xlac-obs --offline
+cargo test -q -p xlac-obs --offline --features obs
+
+echo "==> instrumented differential suite (--features obs)"
+cargo test -q --offline --release --test bitslice_differential --features obs
+
+echo "==> instrumented xlac-lint (--features obs)"
+cargo run -q --release -p xlac-analysis --offline --features obs \
+    --bin xlac-lint -- --samples 100000
+
+echo "==> instrumented xlac-lint --exact (--features obs)"
+cargo run -q --release -p xlac-analysis --offline --features obs \
+    --bin xlac-lint -- --exact --lint-only
+
+echo "==> instrumented bitslice report (BENCH_obs.json)"
+XLAC_BENCH_SAMPLES=7 XLAC_BENCH_MIN_SAMPLE_MS=1 cargo bench -q -p xlac-bench \
+    --bench bitslice --offline --features obs \
+    | grep '^{' > BENCH_obs.json
+
+echo "==> observability profile"
+cargo run -q --release -p xlac-obs --offline --bin xlac-obs-report -- BENCH_obs.json
+
+echo "==> observability overhead gate (<=5% vs BENCH_bitslice.json)"
+cargo run -q --release -p xlac-obs --offline --bin xlac-obs-report -- \
+    --gate BENCH_bitslice.json BENCH_obs.json
 
 echo "CI OK"

@@ -26,6 +26,9 @@
 //! * [`explore`] — design-space exploration (Table IV / Fig.4).
 //! * [`analysis`] — static error-bound propagation and netlist lint
 //!   (the `xlac-lint` CI gate); see `DESIGN.md` §9.
+//! * [`obs`] — the zero-dependency observability layer: counters, gauges,
+//!   log2 histograms and span timers behind the `obs` feature (no-ops by
+//!   default); see `DESIGN.md` §12.
 //! * [`quality`], [`core`] — metrics and shared foundations.
 //!
 //! # Quickstart
@@ -60,6 +63,7 @@ pub use xlac_explore as explore;
 pub use xlac_imaging as imaging;
 pub use xlac_logic as logic;
 pub use xlac_multipliers as multipliers;
+pub use xlac_obs as obs;
 pub use xlac_quality as quality;
 pub use xlac_sim as sim;
 pub use xlac_video as video;

@@ -469,6 +469,69 @@ fn sad_datapath_x64_matches_scalar_on_random_blocks() {
     }
 }
 
+// ---------------------------------------------------------------------
+// Observability determinism: the counters the sweeps emit must be a pure
+// function of the workload — bitwise-identical for any worker-thread
+// count — and a guaranteed no-op when the `obs` feature is off.
+// ---------------------------------------------------------------------
+
+/// Serializes the obs-registry tests: the registry is process-global, so
+/// two tests resetting and reading it concurrently would race.
+static OBS_REGISTRY_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+/// Runs a fixed multiplier + GeAr sweep workload at the given thread
+/// count and returns the resulting counter table.
+fn sweep_counters_with_threads(threads: usize) -> Vec<(String, u64)> {
+    use xlac::sim::sweeps::{gear_sweep, multiplier_sweep, SweepOptions};
+    xlac::obs::reset();
+    let opts = SweepOptions::new(6_000, 0xDE7).threads(threads).chunk(512);
+    let m = RecursiveMultiplier::new(8, Mul2x2Kind::ApxSoA, SumMode::Accurate).unwrap();
+    let stats = multiplier_sweep(&m, &opts);
+    assert_eq!(stats.samples, 6_000);
+    let gear = GeArAdder::new(8, 2, 2).unwrap();
+    let result = gear_sweep(&gear, Some(1), &opts);
+    assert_eq!(result.stats.samples, 6_000);
+    xlac::obs::snapshot().counters
+}
+
+#[test]
+fn obs_counter_totals_are_thread_count_invariant() {
+    let _guard = OBS_REGISTRY_LOCK.lock().unwrap();
+    let baseline = sweep_counters_with_threads(1);
+    if xlac::obs::enabled() {
+        // Counters accumulate per chunk, so totals are plain integer sums
+        // over a thread-independent chunk decomposition.
+        let counters = |name: &str| {
+            baseline.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+        };
+        assert_eq!(counters("sim.trials"), Some(12_000));
+        assert_eq!(counters("sim.chunks"), Some(24));
+        assert!(counters("sim.sweep.lanes").is_some());
+    }
+    for threads in [2usize, 4, 8] {
+        assert_eq!(
+            sweep_counters_with_threads(threads),
+            baseline,
+            "counter totals changed at {threads} worker threads"
+        );
+    }
+}
+
+#[test]
+fn obs_disabled_build_records_nothing() {
+    let _guard = OBS_REGISTRY_LOCK.lock().unwrap();
+    let counters = sweep_counters_with_threads(2);
+    if xlac::obs::enabled() {
+        assert!(!counters.is_empty(), "enabled build must record the sweeps");
+    } else {
+        // The no-op registry: nothing recorded, nothing exported, and the
+        // snapshot is empty even right after an instrumented workload.
+        assert!(counters.is_empty());
+        assert!(xlac::obs::snapshot().is_empty());
+        assert!(xlac::obs::export_json_lines().is_empty());
+    }
+}
+
 #[test]
 fn fir_datapath_x64_matches_scalar_on_random_streams() {
     use xlac::accel::config::ApproxMode;

@@ -1,0 +1,154 @@
+//! Width-boundary pinning tests for the arithmetic datapaths.
+//!
+//! Silent wrap at a width boundary is the classic approximate-hardware
+//! modelling bug: the software model wraps modulo 64 (or panics in debug
+//! builds) where the circuit it stands for has a real carry-out wire or a
+//! wider internal bus. These tests drive the SAD accelerator, the array
+//! divider and the dataflow shift node at the extreme operand values of
+//! the 8/16/31/32-bit edges and pin the intended semantics.
+
+use xlac::accel::dataflow::Dataflow;
+use xlac::accel::sad::{SadAccelerator, SadVariant};
+use xlac::adders::divider::ArrayDivider;
+use xlac::adders::{Adder, FullAdderKind, RippleCarryAdder};
+
+/// The accurate SAD datapath at the absolute maximum: 256 lanes, every
+/// current pixel 255, every reference pixel 0. The true SAD is
+/// 256 × 255 = 65280 (17 bits) — the adder tree must carry it out
+/// without truncation at any level.
+#[test]
+fn sad_maximum_block_does_not_truncate() {
+    for lanes in [2usize, 16, 64, 256] {
+        let sad = SadAccelerator::accurate(lanes).unwrap();
+        let cur = vec![255u64; lanes];
+        let refb = vec![0u64; lanes];
+        let expected = 255 * lanes as u64;
+        assert_eq!(sad.sad(&cur, &refb).unwrap(), expected, "{lanes} lanes");
+        assert_eq!(SadAccelerator::sad_exact(&cur, &refb), expected);
+    }
+}
+
+/// Every approximate variant with zero approximate LSBs is the exact
+/// circuit — the maximum block must come out exact at the widest
+/// configuration, proving the tree widths are sized for the worst case.
+#[test]
+fn sad_variants_carry_the_worst_case_at_zero_lsbs() {
+    let cur = vec![255u64; 256];
+    let refb = vec![0u64; 256];
+    for variant in SadVariant::ALL {
+        let sad = SadAccelerator::new(256, variant, 0).unwrap();
+        assert_eq!(sad.sad(&cur, &refb).unwrap(), 255 * 256, "{variant}");
+    }
+}
+
+/// Approximate SAD at the maximum block stays inside the datapath's
+/// representable width. Aggressive cells may flip the abs-diff borrow
+/// decision, so the error itself is unbounded downward — but the result
+/// must never wrap past the tree's ~18-bit output into a huge u64, which
+/// is what a silent `<<`/`+` wrap in the model would produce.
+#[test]
+fn approximate_sad_maximum_block_never_wraps() {
+    let cur = vec![255u64; 256];
+    let refb = vec![0u64; 256];
+    // 8-bit lanes through 8 tree levels with carry-outs: < 2^18.
+    let representable = 1u64 << 18;
+    for variant in SadVariant::ALL.iter().skip(1) {
+        for lsbs in [2usize, 4, 6, 8] {
+            let sad = SadAccelerator::new(256, *variant, lsbs).unwrap();
+            let got = sad.sad(&cur, &refb).unwrap();
+            assert!(got < representable, "{variant}/{lsbs}: {got} wrapped");
+        }
+    }
+}
+
+/// The divider at its widest supported configuration (31 bits): maximum
+/// dividend over small and maximum divisors. A silent wrap in the
+/// shifted partial remainder (which reaches 32 bits mid-trial) would
+/// corrupt the quotient here.
+#[test]
+fn divider_width_31_extremes_are_exact() {
+    let div = ArrayDivider::accurate(31).unwrap();
+    let max = (1u64 << 31) - 1;
+    for divisor in [1u64, 2, 3, max - 1, max] {
+        let (q, r) = div.divide(max, divisor).unwrap();
+        assert_eq!((q, r), (max / divisor, max % divisor), "{max}/{divisor}");
+        assert_eq!(q * divisor + r, max);
+    }
+    // Dividend smaller than divisor: quotient 0, remainder = dividend.
+    assert_eq!(div.divide(5, max).unwrap(), (0, 5));
+}
+
+/// Exhaustive-ish boundary sweep at widths 8 and 16: the four corner
+/// operands of each width against each other.
+#[test]
+fn divider_corner_operands_at_8_and_16_bits() {
+    for width in [8usize, 16] {
+        let div = ArrayDivider::accurate(width).unwrap();
+        let max = (1u64 << width) - 1;
+        let corners = [1u64, 2, max / 2, max - 1, max];
+        for &n in &corners {
+            for &d in &corners {
+                let (q, r) = div.divide(n, d).unwrap();
+                assert_eq!((q, r), (n / d, n % d), "width {width}: {n}/{d}");
+            }
+        }
+    }
+}
+
+/// Width-31 operands just outside the range are rejected, not wrapped.
+#[test]
+fn divider_rejects_out_of_width_operands_at_the_edge() {
+    let div = ArrayDivider::accurate(31).unwrap();
+    let max = (1u64 << 31) - 1;
+    assert!(div.divide(max + 1, 3).is_err());
+    assert!(div.divide(3, max + 1).is_err());
+    assert!(div.divide(max, max).is_ok());
+}
+
+fn shift_graph(amount: usize) -> Dataflow {
+    let mut g = Dataflow::new(1, 32);
+    let x = g.input(0);
+    let s = g.shl(x, amount).unwrap();
+    g.mark_output(s);
+    g
+}
+
+/// A constant shift by the full word width (or more) models wiring every
+/// bit off the top: the output is 0. `u64 << 64` would panic in debug
+/// builds and silently become `<< 0` in release builds — the historical
+/// wrap this pins against.
+#[test]
+fn dataflow_shift_by_word_width_clears() {
+    for amount in [64usize, 65, 100, usize::MAX] {
+        let g = shift_graph(amount);
+        assert_eq!(g.eval(&[0xFFFF_FFFF]).unwrap(), vec![0], "shl {amount}");
+        assert_eq!(g.eval_exact(&[0xFFFF_FFFF]).unwrap(), vec![0], "shl {amount}");
+    }
+}
+
+/// Shifts inside the word keep exact semantics up to the last in-range
+/// amount (63), including at the 32-bit input boundary.
+#[test]
+fn dataflow_shift_boundaries_inside_the_word() {
+    let g = shift_graph(32);
+    assert_eq!(g.eval(&[1]).unwrap(), vec![1u64 << 32]);
+    let g = shift_graph(63);
+    assert_eq!(g.eval(&[1]).unwrap(), vec![1u64 << 63]);
+    // Top bit of a 32-bit input shifted by 63: bit 31 falls off the top.
+    let g = shift_graph(63);
+    assert_eq!(g.eval(&[0x8000_0000]).unwrap(), vec![0]);
+}
+
+/// Ripple-carry adders at their width boundary: the carry-out wire is
+/// part of the result (`width + 1` bits), so max + max is the full sum —
+/// never a wrapped value — at 8, 16 and 32 bits alike.
+#[test]
+fn ripple_adder_carry_out_survives_the_width_boundary() {
+    for width in [8usize, 16, 32] {
+        let add = RippleCarryAdder::with_approx_lsbs(width, FullAdderKind::Accurate, 0).unwrap();
+        let max = (1u64 << width) - 1;
+        assert_eq!(add.add(max, max), max + max, "width {width}");
+        assert_eq!(add.add(max, 1), 1u64 << width, "width {width} carries out");
+        assert_eq!(add.add(max, 0), max, "width {width} identity");
+    }
+}
