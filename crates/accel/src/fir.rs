@@ -190,6 +190,16 @@ impl FirAccelerator {
     /// normalization — callers scale as their application needs).
     #[must_use]
     pub fn apply(&self, samples: &[u64]) -> Vec<i64> {
+        self.apply_with(&self.multiplier, samples)
+    }
+
+    /// [`FirAccelerator::apply`] with the tap multiplier swapped for any
+    /// [`Multiplier`] of the same width — e.g. a compiled-netlist
+    /// implementation of the built-in tap core. The accumulation trees and
+    /// dual-rail handling are unchanged, so for an equivalent multiplier
+    /// the response is identical.
+    #[must_use]
+    pub fn apply_with<M: Multiplier + ?Sized>(&self, tap: &M, samples: &[u64]) -> Vec<i64> {
         let taps = self.coefficients.len() as i64;
         let half = taps / 2;
         (0..samples.len() as i64)
@@ -201,8 +211,7 @@ impl FirAccelerator {
                     if idx < 0 || idx >= samples.len() as i64 || h == 0 {
                         continue;
                     }
-                    let product =
-                        self.multiplier.mul(h.unsigned_abs(), samples[idx as usize] & 0xFF);
+                    let product = tap.mul(h.unsigned_abs(), samples[idx as usize] & 0xFF);
                     if h > 0 {
                         positive.push(product);
                     } else {
@@ -250,6 +259,18 @@ impl FirAccelerator {
     /// `apply(stream j)[t]` for every lane `j`.
     #[must_use]
     pub fn apply_x64(&self, samples: &[Vec<u64>]) -> Vec<[i64; 64]> {
+        self.apply_x64_with(&self.multiplier, samples)
+    }
+
+    /// [`FirAccelerator::apply_x64`] with the tap multiplier swapped for
+    /// any [`MultiplierX64`] of the same width (the bit-sliced companion
+    /// of [`FirAccelerator::apply_with`]).
+    #[must_use]
+    pub fn apply_x64_with<M: MultiplierX64 + ?Sized>(
+        &self,
+        tap: &M,
+        samples: &[Vec<u64>],
+    ) -> Vec<[i64; 64]> {
         let taps = self.coefficients.len() as i64;
         let half = taps / 2;
         (0..samples.len() as i64)
@@ -263,10 +284,8 @@ impl FirAccelerator {
                     }
                     // The coefficient is shared by every lane: an all-ones
                     // plane per set magnitude bit.
-                    let product = self.multiplier.mul_x64(
-                        &lanes::const_planes(h.unsigned_abs(), 8),
-                        &samples[idx as usize],
-                    );
+                    let product =
+                        tap.mul_x64(&lanes::const_planes(h.unsigned_abs(), 8), &samples[idx as usize]);
                     if h > 0 {
                         positive.push(product);
                     } else {

@@ -55,6 +55,7 @@ pub mod dataflow;
 pub mod dct;
 pub mod filter;
 pub mod fir;
+pub mod hw;
 pub mod manager;
 pub mod monitor;
 pub mod sad;

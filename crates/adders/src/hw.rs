@@ -100,6 +100,59 @@ pub fn pack_operands(a: u64, b: u64, n: usize) -> u64 {
     xlac_core::bits::truncate(a, n) | (xlac_core::bits::truncate(b, n) << n)
 }
 
+/// Elaborates an absolute-difference subtractor into a flat gate netlist:
+/// `2N` inputs, `N + 1` outputs — `|a − b|` LSB-first, then the `a >= b`
+/// (no-borrow) flag.
+///
+/// The structure mirrors [`crate::Subtractor::sub_x64`] stage for stage:
+/// the (possibly approximate) ripple adder on `a + !b`, the exact `+1`
+/// increment rippled across `N + 2` bit positions (the increment can
+/// carry *past* the adder's carry-out), the no-borrow flag as the OR of
+/// both top carry positions, and a conditional two's-complement negation
+/// selected per lane by that flag.
+#[must_use]
+pub fn subtractor_netlist(sub: &crate::Subtractor<RippleCarryAdder>) -> Netlist {
+    use xlac_logic::GateKind;
+    let w = sub.width();
+    let mut b = NetlistBuilder::new(sub.name(), 2 * w);
+    let adder_nl = ripple_netlist(sub.adder());
+
+    // a + !b through the approximate adder (w + 1 output bits).
+    let mut fanin: Vec<Signal> = (0..w).map(Signal::Input).collect();
+    for i in 0..w {
+        fanin.push(b.gate(GateKind::Not, &[Signal::Input(w + i)]));
+    }
+    let raw = b.inline(&adder_nl, &fanin);
+
+    // The +1 increment over w + 2 bit positions (carry-in of 1).
+    let mut inc = Vec::with_capacity(w + 2);
+    let mut carry = b.constant(true);
+    for &r in raw.iter().take(w + 1) {
+        inc.push(b.gate(GateKind::Xor2, &[r, carry]));
+        carry = b.gate(GateKind::And2, &[r, carry]);
+    }
+    inc.push(carry);
+    // No borrow when the increment reached bit w or bit w+1.
+    let a_ge_b = b.gate(GateKind::Or2, &[inc[w], inc[w + 1]]);
+
+    // Two's complement of the low word, for the borrow case.
+    let mut neg = Vec::with_capacity(w);
+    let mut c = b.constant(true);
+    for &i in inc.iter().take(w) {
+        let ni = b.gate(GateKind::Not, &[i]);
+        neg.push(b.gate(GateKind::Xor2, &[ni, c]));
+        c = b.gate(GateKind::And2, &[ni, c]);
+    }
+
+    // Magnitude: inc when a >= b, neg otherwise.
+    for i in 0..w {
+        let mag = b.gate(GateKind::Mux2, &[neg[i], inc[i], a_ge_b]);
+        b.output(mag);
+    }
+    b.output(a_ge_b);
+    b.finish().expect("subtractor elaboration is well-formed")
+}
+
 /// Elaborates GeAr's error-detection logic (the light-weight part of the
 /// paper's EDC stage): one output per sub-adder boundary, asserted when
 /// that sub-adder's prediction window is all-propagate **and** the
@@ -268,6 +321,50 @@ mod tests {
         let adder_area = gear_netlist(&gear).area_ge();
         let det_area = gear_detector_netlist(&gear).area_ge();
         assert!(det_area < adder_area, "detector {det_area} vs adder {adder_area}");
+    }
+
+    #[test]
+    fn subtractor_netlist_is_exhaustively_equivalent() {
+        use crate::Subtractor;
+        for (kind, lsbs) in
+            [(FullAdderKind::Accurate, 0), (FullAdderKind::Apx2, 3), (FullAdderKind::Apx5, 2)]
+        {
+            let sub = Subtractor::new(RippleCarryAdder::with_approx_lsbs(6, kind, lsbs).unwrap());
+            let nl = subtractor_netlist(&sub);
+            assert_eq!(nl.n_inputs(), 12);
+            assert_eq!(nl.n_outputs(), 7);
+            for a in 0u64..64 {
+                for b in 0u64..64 {
+                    let (mag, ge) = sub.sub(a, b);
+                    let expect = mag | (u64::from(ge) << 6);
+                    assert_eq!(nl.eval(pack_operands(a, b, 6)), expect, "{kind}: {a}-{b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn subtractor_netlist_matches_x64_on_random_lanes() {
+        use crate::Subtractor;
+        use xlac_core::lanes::{from_planes, to_planes, LANES};
+        use xlac_core::rng::{DefaultRng, Rng};
+        let sub =
+            Subtractor::new(RippleCarryAdder::with_approx_lsbs(8, FullAdderKind::Apx3, 4).unwrap());
+        let nl = subtractor_netlist(&sub);
+        let mut rng = DefaultRng::seed_from_u64(0x5B);
+        let mut a = [0u64; LANES];
+        let mut b = [0u64; LANES];
+        rng.fill_u64(&mut a);
+        rng.fill_u64(&mut b);
+        let a = a.map(|v| v & 0xFF);
+        let b = b.map(|v| v & 0xFF);
+        let (mag, a_ge_b) = sub.sub_x64(&to_planes(&a, 8), &to_planes(&b, 8));
+        let mags = from_planes(&mag);
+        for j in 0..LANES {
+            let hw = nl.eval(pack_operands(a[j], b[j], 8));
+            assert_eq!(hw & 0xFF, mags[j], "lane {j}");
+            assert_eq!((hw >> 8) & 1, (a_ge_b >> j) & 1, "lane {j} flag");
+        }
     }
 
     #[test]

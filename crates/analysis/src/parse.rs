@@ -13,6 +13,7 @@
 //! problems elsewhere in the file.
 
 use xlac_logic::gate::GateKind;
+use xlac_logic::{Netlist, NetlistBuilder, Signal};
 
 /// A line the parser could not interpret.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -66,6 +67,115 @@ pub struct RawNetlist {
     pub wires: Vec<String>,
     /// All drivers.
     pub cells: Vec<RawCell>,
+}
+
+impl RawNetlist {
+    /// Converts the parsed module into a built [`Netlist`], topologically
+    /// ordering the cells (source files may declare drivers in any
+    /// order). Aliases collapse to their driven signal; constants map to
+    /// [`Signal::Const`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending cell for module
+    /// instantiations (the flat [`Netlist`] form has no hierarchy),
+    /// undriven signals, multiply-driven signals, and combinational
+    /// cycles.
+    pub fn to_netlist(&self) -> Result<Netlist, String> {
+        let mut drivers: std::collections::HashMap<&str, usize> = std::collections::HashMap::new();
+        for (i, cell) in self.cells.iter().enumerate() {
+            if let CellFunc::Instance(module) = &cell.func {
+                return Err(format!(
+                    "{}: cell {} instantiates module {module}; flatten the hierarchy first",
+                    self.name, cell.name
+                ));
+            }
+            if drivers.insert(cell.output.as_str(), i).is_some() {
+                return Err(format!("{}: signal {} is multiply driven", self.name, cell.output));
+            }
+        }
+        let input_index: std::collections::HashMap<&str, usize> =
+            self.inputs.iter().enumerate().map(|(i, n)| (n.as_str(), i)).collect();
+        if let Some(clash) = self.inputs.iter().find(|n| drivers.contains_key(n.as_str())) {
+            return Err(format!("{}: input port {clash} is driven by a cell", self.name));
+        }
+
+        let mut b = NetlistBuilder::new(self.name.clone(), self.inputs.len());
+        // DFS with an explicit on-stack mark: 0 = untouched, 1 = visiting
+        // (a revisit is a combinational cycle), 2 = built.
+        let mut state = vec![0u8; self.cells.len()];
+        let mut built: Vec<Option<Signal>> = vec![None; self.cells.len()];
+        fn resolve(
+            name: &str,
+            this: &RawNetlist,
+            drivers: &std::collections::HashMap<&str, usize>,
+            input_index: &std::collections::HashMap<&str, usize>,
+            b: &mut NetlistBuilder,
+            state: &mut [u8],
+            built: &mut [Option<Signal>],
+        ) -> Result<Signal, String> {
+            if name == "1'b0" {
+                return Ok(Signal::Const(false));
+            }
+            if name == "1'b1" {
+                return Ok(Signal::Const(true));
+            }
+            if let Some(&i) = input_index.get(name) {
+                return Ok(Signal::Input(i));
+            }
+            let Some(&cell_ix) = drivers.get(name) else {
+                return Err(format!("{}: signal {name} has no driver", this.name));
+            };
+            if let Some(sig) = built[cell_ix] {
+                return Ok(sig);
+            }
+            if state[cell_ix] == 1 {
+                return Err(format!("{}: combinational cycle through {name}", this.name));
+            }
+            state[cell_ix] = 1;
+            let cell = &this.cells[cell_ix];
+            let mut fanin = Vec::with_capacity(cell.inputs.len());
+            for operand in &cell.inputs {
+                fanin.push(resolve(operand, this, drivers, input_index, b, state, built)?);
+            }
+            let sig = match &cell.func {
+                CellFunc::Gate(kind) => {
+                    if fanin.len() != kind.arity() {
+                        return Err(format!(
+                            "{}: cell {} has {} operands, {kind} expects {}",
+                            this.name,
+                            cell.name,
+                            fanin.len(),
+                            kind.arity()
+                        ));
+                    }
+                    b.gate(*kind, &fanin)
+                }
+                CellFunc::Alias => fanin[0],
+                CellFunc::Instance(_) => unreachable!("instances rejected above"),
+            };
+            state[cell_ix] = 2;
+            built[cell_ix] = Some(sig);
+            Ok(sig)
+        }
+
+        let mut outs = Vec::with_capacity(self.outputs.len());
+        for name in &self.outputs {
+            outs.push(resolve(
+                name,
+                self,
+                &drivers,
+                &input_index,
+                &mut b,
+                &mut state,
+                &mut built,
+            )?);
+        }
+        for sig in outs {
+            b.output(sig);
+        }
+        b.finish().map_err(|e| format!("{}: {e}", self.name))
+    }
 }
 
 /// `true` for the constant literals `1'b0` / `1'b1`.
@@ -311,6 +421,59 @@ endmodule
         let mux = &net.cells[3];
         assert_eq!(mux.func, CellFunc::Gate(GateKind::Mux2));
         assert_eq!(mux.inputs, ["1'b0", "w0", "i1"]);
+    }
+
+    #[test]
+    fn to_netlist_builds_the_parsed_module() {
+        let (module, errors) = parse_verilog(GOOD);
+        assert!(errors.is_empty(), "{errors:?}");
+        let nl = module.unwrap().to_netlist().unwrap();
+        assert_eq!(nl.n_inputs(), 3);
+        assert_eq!(nl.n_outputs(), 2);
+        for x in 0..8u64 {
+            let (i0, i1, i2) = (x & 1, (x >> 1) & 1, (x >> 2) & 1);
+            let w0 = i0 | i2;
+            let want = (1 - w0) | ((if i1 == 1 { w0 } else { 0 }) << 1);
+            assert_eq!(nl.eval(x), want, "input {x:03b}");
+        }
+    }
+
+    #[test]
+    fn to_netlist_orders_cells_topologically() {
+        // Drivers deliberately out of order: g1 consumes w0 before g0
+        // declares it.
+        let src = "module shuffled (\n    input  wire a,\n    input  wire b,\n    output wire y\n);\n\
+                   wire w0, w1;\n    xor g1 (w1, w0, b);\n    and g0 (w0, a, b);\n\
+                   assign y = w1;\nendmodule\n";
+        let (module, errors) = parse_verilog(src);
+        assert!(errors.is_empty(), "{errors:?}");
+        let nl = module.unwrap().to_netlist().unwrap();
+        for x in 0..4u64 {
+            let (a, b) = (x & 1, (x >> 1) & 1);
+            assert_eq!(nl.eval(x), (a & b) ^ b);
+        }
+    }
+
+    #[test]
+    fn to_netlist_rejects_what_the_flat_form_cannot_express() {
+        let undriven = "module m (\n    input  wire a,\n    output wire y\n);\n\
+                        assign y = ghost;\nendmodule\n";
+        let (module, _) = parse_verilog(undriven);
+        let err = module.unwrap().to_netlist().unwrap_err();
+        assert!(err.contains("no driver"), "{err}");
+
+        let cyclic = "module m (\n    input  wire a,\n    output wire y\n);\n\
+                      wire w0, w1;\n    not g0 (w0, w1);\n    not g1 (w1, w0);\n\
+                      assign y = w0;\nendmodule\n";
+        let (module, _) = parse_verilog(cyclic);
+        let err = module.unwrap().to_netlist().unwrap_err();
+        assert!(err.contains("cycle"), "{err}");
+
+        let hierarchical = "module m (\n    input  wire a,\n    output wire y\n);\n\
+                            leaf u0 (y, a);\nendmodule\n";
+        let (module, _) = parse_verilog(hierarchical);
+        let err = module.unwrap().to_netlist().unwrap_err();
+        assert!(err.contains("flatten"), "{err}");
     }
 
     #[test]

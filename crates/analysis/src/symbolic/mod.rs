@@ -23,6 +23,10 @@
 //! * [`audit`] — the static [`crate::bound`] layer regressed against the
 //!   exact metrics: every 8-bit-and-under configuration's bound is
 //!   checked for soundness (`bound ⊇ exact`) with per-field slack.
+//! * [`jitproof`] — symbolic execution of `xlac-sim`'s compiled
+//!   bit-plane bytecode, proving every JIT rewrite (inverter fusion, De
+//!   Morgan, mux normalization, CSE, DCE, register reuse) preserved the
+//!   source netlist's functions.
 //! * [`registry`] — the shipped-module proof obligations behind
 //!   `xlac-lint --exact`: for every component, the truth-table model,
 //!   the structural/`hdl/` netlists and the bit-sliced `eval_x64` form
@@ -32,6 +36,7 @@ pub mod audit;
 pub mod bdd;
 pub mod compile;
 pub mod equiv;
+pub mod jitproof;
 pub mod metrics;
 pub mod registry;
 pub mod twins;

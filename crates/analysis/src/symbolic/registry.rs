@@ -523,6 +523,81 @@ fn composed_multiplier_reports() -> Vec<ProofReport> {
     reports
 }
 
+/// Proof obligations for the `xlac-sim` bytecode compiler: every
+/// built-in netlist representation in the registry, compiled to bit-plane
+/// bytecode, is proven equal to the source netlist output-by-output over
+/// the full input space ([`super::jitproof`] executes the bytecode
+/// symbolically; canonical BDD roots make the comparison a proof).
+///
+/// Only built-in (structural/elaborated) netlists participate — the
+/// `hdl/` exports are covered by [`prove_all`] and add nothing here,
+/// since the JIT consumes `Netlist` values, not Verilog.
+#[must_use]
+pub fn jit_equivalence_reports() -> Vec<ProofReport> {
+    let _span = obs_span!("analysis.jit_equivalence");
+    use xlac_multipliers::hw::wallace_netlist;
+    let mut reports = Vec::new();
+
+    // 1-bit cells: plain variable order.
+    let mut cells: Vec<(String, xlac_logic::Netlist)> = Vec::new();
+    for kind in FullAdderKind::ALL {
+        cells.push((format!("{kind} (structural)"), kind.structural_netlist()));
+        cells.push((format!("{kind} (synthesized)"), kind.synthesized_netlist()));
+    }
+    for kind in Mul2x2Kind::ALL {
+        cells.push((kind.to_string(), kind.netlist()));
+    }
+    for core in [Mul2x2Kind::ApxSoA, Mul2x2Kind::ApxOur] {
+        let cfg = ConfigurableMul2x2::new(core);
+        cells.push((cfg.name(), cfg.netlist()));
+    }
+    for (name, nl) in cells {
+        let mut bdd = Bdd::new();
+        let vars: Vec<Ref> = (0..nl.n_inputs()).map(|i| bdd.var(i)).collect();
+        reports.push(jit_report(&mut bdd, name, &nl, &vars));
+    }
+
+    // Multi-bit datapaths: interleaved operand order keeps the adder and
+    // multiplier BDDs compact, exactly as the main registry does.
+    let mut datapaths: Vec<(String, xlac_logic::Netlist, usize)> = Vec::new();
+    for kind in FullAdderKind::APPROXIMATE {
+        let rca = RippleCarryAdder::with_approx_lsbs(8, kind, 4)
+            .expect("8-bit adder with 4 approximate LSBs is valid");
+        datapaths.push((rca.name(), ripple_netlist(&rca), 8));
+    }
+    for (n, r, p) in [(11usize, 1usize, 9usize), (12, 4, 4), (16, 2, 6)] {
+        let gear = GeArAdder::new(n, r, p).expect("shipped GeAr configs are valid");
+        datapaths.push((gear.name(), gear_netlist(&gear), n));
+    }
+    {
+        let m = WallaceMultiplier::new(8, FullAdderKind::Apx3, 6).expect("valid Wallace config");
+        datapaths.push((m.name(), wallace_netlist(&m), 8));
+    }
+    {
+        let rca = RippleCarryAdder::with_approx_lsbs(8, FullAdderKind::Apx3, 4)
+            .expect("valid adder config");
+        let sub = Subtractor::new(rca);
+        datapaths.push((sub.name(), xlac_adders::hw::subtractor_netlist(&sub), 8));
+    }
+    for (name, nl, width) in datapaths {
+        let mut bdd = Bdd::new();
+        let (a, b) = interleaved_operand_vars(&mut bdd, width);
+        let ports: Vec<Ref> = a.iter().chain(&b).copied().collect();
+        reports.push(jit_report(&mut bdd, name, &nl, &ports));
+    }
+    reports
+}
+
+fn jit_report(bdd: &mut Bdd, name: String, nl: &xlac_logic::Netlist, ports: &[Ref]) -> ProofReport {
+    let prog = xlac_sim::CompiledProgram::compile(nl);
+    let family = vec![
+        ("netlist".to_string(), compile_netlist(bdd, nl, ports)),
+        ("compiled bytecode".to_string(), super::jitproof::compile_program(bdd, &prog, ports)),
+    ];
+    let status = prove_family(bdd, &family);
+    report(bdd, name, nl.n_inputs(), "bdd-jit", &family, status)
+}
+
 fn twin_family() -> Vec<(String, Vec<Ref>)> {
     vec![
         ("behavioural twin".to_string(), Vec::new()),
@@ -554,6 +629,19 @@ mod tests {
         assert!(reports.len() >= 20, "expected the full registry, got {}", reports.len());
         for r in &reports {
             assert!(r.is_proven(), "{}: {:?}", r.name, r.status);
+        }
+    }
+
+    #[test]
+    fn every_jit_compilation_obligation_is_proven() {
+        let reports = jit_equivalence_reports();
+        // Every registry family is represented: 2 netlists per full-adder
+        // kind, the 2×2 blocks, the configurables, ripple/GeAr/Wallace/
+        // subtractor datapaths.
+        assert!(reports.len() >= 25, "expected the full registry, got {}", reports.len());
+        for r in &reports {
+            assert!(r.is_proven(), "{}: {:?}", r.name, r.status);
+            assert_eq!(r.method, "bdd-jit");
         }
     }
 

@@ -1,0 +1,140 @@
+//! The netlist JIT vs the gate-at-a-time interpreter (DESIGN.md §13).
+//!
+//! Measures the throughput claim behind `xlac-sim::jit`: the 65 536-trial
+//! Monte-Carlo error sweep of an 8-bit ripple-carry adder and a Wallace
+//! 8×8 multiplier, evaluated through (a) the netlist interpreter
+//! (`eval_words_into`, one match dispatch per gate per 64-lane batch) and
+//! (b) the compiled bit-plane program at all three plane-block widths
+//! (64/256/512 lanes per pass). Every flavour is asserted to produce
+//! identical statistics before anything is timed — the RNG-order
+//! discipline makes them the same experiment.
+//!
+//! `scripts/ci.sh` records these lines into `BENCH_jit.json` and
+//! `xlac-jit-gate` enforces the compiled-≥-interpreted floors.
+
+use xlac_adders::hw::ripple_netlist;
+use xlac_adders::{FullAdderKind, RippleCarryAdder};
+use xlac_bench::{black_box, Harness};
+use xlac_logic::Netlist;
+use xlac_multipliers::hw::wallace_netlist;
+use xlac_multipliers::WallaceMultiplier;
+use xlac_sim::{compiled_pair_sweep, interpreted_pair_sweep, CompiledProgram, SweepOptions};
+
+/// Trials per sweep — matches the bitslice bench so the reports compare.
+const TRIALS: u64 = 1 << 16;
+
+fn bench_pair_sweep<F: Fn(u64, u64) -> u64 + Sync + Copy>(
+    group: &str,
+    nl: &Netlist,
+    width: usize,
+    exact: F,
+) {
+    let mut h = Harness::group(group);
+    let prog = CompiledProgram::compile(nl);
+    let opts = SweepOptions::new(TRIALS, 0x717).chunk(4096).threads(1);
+
+    // Guard: one experiment, four evaluators.
+    let reference = interpreted_pair_sweep(nl, width, exact, &opts);
+    assert_eq!(reference, compiled_pair_sweep::<u64, _>(&prog, width, exact, &opts));
+    assert_eq!(reference, compiled_pair_sweep::<[u64; 4], _>(&prog, width, exact, &opts));
+    assert_eq!(reference, compiled_pair_sweep::<[u64; 8], _>(&prog, width, exact, &opts));
+
+    h.bench("interpreted", || black_box(interpreted_pair_sweep(nl, width, exact, &opts)));
+    h.bench("compiled_u64", || {
+        black_box(compiled_pair_sweep::<u64, _>(&prog, width, exact, &opts))
+    });
+    h.bench("compiled_x4", || {
+        black_box(compiled_pair_sweep::<[u64; 4], _>(&prog, width, exact, &opts))
+    });
+    h.bench("compiled_x8", || {
+        black_box(compiled_pair_sweep::<[u64; 8], _>(&prog, width, exact, &opts))
+    });
+}
+
+/// Raw evaluation throughput over pre-drawn operands: the engine
+/// comparison with the sweep scaffolding (RNG draws, plane transposes,
+/// per-lane statistics) factored out. This is where the compiled-vs-
+/// interpreted ratio the CI gate enforces is visible undiluted.
+fn bench_raw_eval(group: &str, nl: &Netlist, seed: u64) {
+    use xlac_core::lanes::PlaneBlock;
+    use xlac_core::rng::{DefaultRng, Rng};
+
+    let mut h = Harness::group(group);
+    let prog = CompiledProgram::compile(nl);
+    let n_batches = usize::try_from(TRIALS).unwrap() / 64;
+    let mut rng = DefaultRng::seed_from_u64(seed);
+    let batches: Vec<Vec<u64>> = (0..n_batches)
+        .map(|_| (0..nl.n_inputs()).map(|_| rng.next_u64()).collect())
+        .collect();
+
+    fn pack<B: PlaneBlock>(batches: &[Vec<u64>]) -> Vec<Vec<B>> {
+        batches
+            .chunks(B::WORDS)
+            .map(|group| {
+                (0..group[0].len())
+                    .map(|i| {
+                        let mut blk = B::zeros();
+                        for (s, batch) in group.iter().enumerate() {
+                            blk.set_word(s, batch[i]);
+                        }
+                        blk
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+    let (x4, x8) = (pack::<[u64; 4]>(&batches), pack::<[u64; 8]>(&batches));
+
+    // Guard: all four evaluators agree on the first batch.
+    let reference = nl.eval_words(&batches[0]);
+    assert_eq!(prog.run(&batches[0]), reference);
+    assert_eq!(x4[0].iter().map(|b| b.word(0)).collect::<Vec<_>>(), batches[0]);
+    assert_eq!(prog.run(&x4[0]).iter().map(|o| o.word(0)).collect::<Vec<_>>(), reference);
+    assert_eq!(prog.run(&x8[0]).iter().map(|o| o.word(0)).collect::<Vec<_>>(), reference);
+
+    let (mut vals, mut outs) = (Vec::new(), Vec::new());
+    h.bench("interpreted", || {
+        for batch in &batches {
+            nl.eval_words_into(batch, &mut vals, &mut outs);
+            black_box(&outs);
+        }
+    });
+    let (mut regs, mut outs1) = (Vec::new(), Vec::new());
+    h.bench("compiled_u64", || {
+        for batch in &batches {
+            prog.run_into(batch, &mut regs, &mut outs1);
+            black_box(&outs1);
+        }
+    });
+    let (mut regs4, mut outs4) = (Vec::new(), Vec::new());
+    h.bench("compiled_x4", || {
+        for blocks in &x4 {
+            prog.run_into(blocks, &mut regs4, &mut outs4);
+            black_box(&outs4);
+        }
+    });
+    let (mut regs8, mut outs8) = (Vec::new(), Vec::new());
+    h.bench("compiled_x8", || {
+        for blocks in &x8 {
+            prog.run_into(blocks, &mut regs8, &mut outs8);
+            black_box(&outs8);
+        }
+    });
+}
+
+fn main() {
+    let rca = RippleCarryAdder::with_approx_lsbs(8, FullAdderKind::Apx2, 4).unwrap();
+    let rca_nl = ripple_netlist(&rca);
+    bench_pair_sweep("jit_rca8_sweep_65536", &rca_nl, 8, |a, b| a + b);
+    bench_raw_eval("jit_rca8_eval_65536", &rca_nl, 0xE7A1);
+
+    let wallace = WallaceMultiplier::new(8, FullAdderKind::Apx4, 8).unwrap();
+    let wallace_nl = wallace_netlist(&wallace);
+    bench_pair_sweep("jit_wallace8x8_sweep_65536", &wallace_nl, 8, |a, b| a * b);
+    bench_raw_eval("jit_wallace8x8_eval_65536", &wallace_nl, 0xE7A2);
+
+    let profile = xlac_obs::export_json_lines();
+    if !profile.is_empty() {
+        print!("{profile}");
+    }
+}

@@ -97,6 +97,131 @@ pub fn const_planes(value: u64, width: usize) -> Vec<u64> {
     (0..width).map(|i| if (value >> i) & 1 == 1 { u64::MAX } else { 0 }).collect()
 }
 
+/// A fixed-width block of bit-plane words — the value type one compiled
+/// bit-plane program operates on.
+///
+/// A `u64` plane carries 64 lanes; wider blocks carry `64 × WORDS` lanes
+/// and are plain word arrays, so the bitwise ops below compile to
+/// straight-line vector code (256-bit for `[u64; 4]`, 512-bit for
+/// `[u64; 8]` on targets with the matching SIMD width — rustc
+/// autovectorizes the fixed-length array loops).
+///
+/// Word `k` of a block holds lanes `64k .. 64k + 64` in the standard
+/// plane layout (`planes[i] >> j & 1 == values[j] >> i & 1` within each
+/// word), so a wide block is just `WORDS` consecutive 64-lane batches.
+pub trait PlaneBlock: Copy + Send + Sync + PartialEq + std::fmt::Debug + 'static {
+    /// Number of 64-lane `u64` words per block.
+    const WORDS: usize;
+
+    /// The all-zero block (every lane 0).
+    fn zeros() -> Self;
+    /// The all-ones block (every lane 1).
+    fn ones() -> Self;
+    /// Lane-wise AND.
+    fn and(self, other: Self) -> Self;
+    /// Lane-wise OR.
+    fn or(self, other: Self) -> Self;
+    /// Lane-wise XOR.
+    fn xor(self, other: Self) -> Self;
+    /// Lane-wise NOT.
+    fn not(self) -> Self;
+    /// The `i`-th 64-lane word of the block.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i >= Self::WORDS`.
+    fn word(self, i: usize) -> u64;
+    /// Overwrites the `i`-th 64-lane word of the block.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i >= Self::WORDS`.
+    fn set_word(&mut self, i: usize, word: u64);
+}
+
+impl PlaneBlock for u64 {
+    const WORDS: usize = 1;
+
+    #[inline(always)]
+    fn zeros() -> Self {
+        0
+    }
+    #[inline(always)]
+    fn ones() -> Self {
+        u64::MAX
+    }
+    #[inline(always)]
+    fn and(self, other: Self) -> Self {
+        self & other
+    }
+    #[inline(always)]
+    fn or(self, other: Self) -> Self {
+        self | other
+    }
+    #[inline(always)]
+    fn xor(self, other: Self) -> Self {
+        self ^ other
+    }
+    #[inline(always)]
+    fn not(self) -> Self {
+        !self
+    }
+    #[inline(always)]
+    fn word(self, i: usize) -> u64 {
+        assert_eq!(i, 0, "u64 plane has a single word");
+        self
+    }
+    #[inline(always)]
+    fn set_word(&mut self, i: usize, word: u64) {
+        assert_eq!(i, 0, "u64 plane has a single word");
+        *self = word;
+    }
+}
+
+macro_rules! impl_plane_block_array {
+    ($n:literal) => {
+        impl PlaneBlock for [u64; $n] {
+            const WORDS: usize = $n;
+
+            #[inline(always)]
+            fn zeros() -> Self {
+                [0; $n]
+            }
+            #[inline(always)]
+            fn ones() -> Self {
+                [u64::MAX; $n]
+            }
+            #[inline(always)]
+            fn and(self, other: Self) -> Self {
+                std::array::from_fn(|k| self[k] & other[k])
+            }
+            #[inline(always)]
+            fn or(self, other: Self) -> Self {
+                std::array::from_fn(|k| self[k] | other[k])
+            }
+            #[inline(always)]
+            fn xor(self, other: Self) -> Self {
+                std::array::from_fn(|k| self[k] ^ other[k])
+            }
+            #[inline(always)]
+            fn not(self) -> Self {
+                std::array::from_fn(|k| !self[k])
+            }
+            #[inline(always)]
+            fn word(self, i: usize) -> u64 {
+                self[i]
+            }
+            #[inline(always)]
+            fn set_word(&mut self, i: usize, word: u64) {
+                self[i] = word;
+            }
+        }
+    };
+}
+
+impl_plane_block_array!(4);
+impl_plane_block_array!(8);
+
 /// Applies a lane permutation: returns planes where lane `j` holds the
 /// value that `perm[j]` held in the input.
 ///
@@ -181,5 +306,51 @@ mod tests {
     fn permute_lanes_rejects_duplicates() {
         let perm = [0usize; LANES];
         let _ = permute_lanes(&[0u64; 4], &perm);
+    }
+
+    fn check_block_ops<B: PlaneBlock>(rng: &mut DefaultRng) {
+        let mut a = B::zeros();
+        let mut b = B::zeros();
+        for k in 0..B::WORDS {
+            a.set_word(k, rng.next_u64());
+            b.set_word(k, rng.next_u64());
+        }
+        for k in 0..B::WORDS {
+            let (aw, bw) = (a.word(k), b.word(k));
+            assert_eq!(a.and(b).word(k), aw & bw);
+            assert_eq!(a.or(b).word(k), aw | bw);
+            assert_eq!(a.xor(b).word(k), aw ^ bw);
+            assert_eq!(a.not().word(k), !aw);
+            assert_eq!(B::zeros().word(k), 0);
+            assert_eq!(B::ones().word(k), u64::MAX);
+        }
+    }
+
+    #[test]
+    fn plane_blocks_are_word_wise_bitops() {
+        let mut rng = DefaultRng::seed_from_u64(0xB10C);
+        assert_eq!(<u64 as PlaneBlock>::WORDS, 1);
+        assert_eq!(<[u64; 4] as PlaneBlock>::WORDS, 4);
+        assert_eq!(<[u64; 8] as PlaneBlock>::WORDS, 8);
+        check_block_ops::<u64>(&mut rng);
+        check_block_ops::<[u64; 4]>(&mut rng);
+        check_block_ops::<[u64; 8]>(&mut rng);
+    }
+
+    #[test]
+    fn set_word_roundtrips() {
+        let mut block = <[u64; 4] as PlaneBlock>::zeros();
+        block.set_word(2, 0xDEAD_BEEF);
+        assert_eq!(block.word(2), 0xDEAD_BEEF);
+        assert_eq!(block.word(0), 0);
+        let mut scalar = 0u64;
+        PlaneBlock::set_word(&mut scalar, 0, 7);
+        assert_eq!(PlaneBlock::word(scalar, 0), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "single word")]
+    fn scalar_block_rejects_word_index_1() {
+        let _ = PlaneBlock::word(0u64, 1);
     }
 }

@@ -50,8 +50,9 @@ use xlac_multipliers::{
     Mul2x2Kind, Multiplier, MultiplierX64, RecursiveMultiplier, SumMode, TruncatedMultiplier,
     WallaceMultiplier,
 };
+use xlac_multipliers::hw::wallace_netlist;
 use xlac_obs::{obs_count, obs_span};
-use xlac_sim::{multiplier_sweep, SweepOptions};
+use xlac_sim::{compiled_pair_sweep, multiplier_sweep, CompiledProgram, SweepOptions};
 
 /// One multiplier configuration, kept as its concrete family type so the
 /// static bound can be computed without simulation at construction time.
@@ -162,10 +163,18 @@ fn quality(config: &MulConfig, samples: u64) -> ErrorStats {
         exhaustive_binary(w, w, |a, b| a * b, |a, b| m.mul(a, b))
     } else {
         obs_count!("explore.mul.mc_trials", samples);
-        // Beyond exhaustive reach, the Monte-Carlo budget runs through the
-        // bit-sliced engine: 64 trials per arithmetic pass, deterministic
-        // for any worker count (`xlac-sim`'s chunked runner).
-        multiplier_sweep(config.as_multiplier_x64(), &SweepOptions::new(samples, 0x3113))
+        let opts = SweepOptions::new(samples, 0x3113);
+        // Beyond exhaustive reach, the Monte-Carlo budget runs bit-sliced:
+        // 64+ trials per arithmetic pass, deterministic for any worker
+        // count (`xlac-sim`'s chunked runner). Wallace trees additionally
+        // go through the netlist JIT at 512-lane blocks — same RNG
+        // discipline, so the statistics are bit-identical to the
+        // behavioural sweep, several times faster.
+        if let MulConfig::Wallace(m) = config {
+            let prog = CompiledProgram::compile(&wallace_netlist(m));
+            return compiled_pair_sweep::<[u64; 8], _>(&prog, m.width(), |a, b| a * b, &opts);
+        }
+        multiplier_sweep(config.as_multiplier_x64(), &opts)
     }
 }
 
@@ -316,6 +325,21 @@ mod tests {
         let before = names.len();
         names.dedup();
         assert_eq!(names.len(), before);
+    }
+
+    #[test]
+    fn wallace_monte_carlo_path_matches_the_behavioural_sweep() {
+        // Width 16 is beyond exhaustive reach (2w = 32 > 16), so quality()
+        // routes Wallace configs through the compiled-netlist sweep. The
+        // RNG discipline guarantees stats identical to the behavioural
+        // bit-sliced sweep.
+        let m = WallaceMultiplier::new(16, FullAdderKind::Apx2, 6).unwrap();
+        let config = MulConfig::Wallace(m.clone());
+        let samples = 4_096;
+        assert_eq!(
+            quality(&config, samples),
+            multiplier_sweep(&m, &SweepOptions::new(samples, 0x3113))
+        );
     }
 
     #[test]

@@ -50,6 +50,7 @@ pub mod gate;
 pub mod netlist;
 pub mod opt;
 pub mod qm;
+pub mod random;
 pub mod stats;
 pub mod synth;
 pub mod truth_table;

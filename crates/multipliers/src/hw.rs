@@ -1,0 +1,170 @@
+//! Structural gate-level elaboration of the Wallace-tree multiplier.
+//!
+//! Mirrors the crate's behavioural reduction walk cell-for-cell: the same
+//! partial-product order, the same carry-save pop/push schedule (which is
+//! input-independent — see [`WallaceMultiplier::cell_placements`]), the
+//! same sparse half-adder rule and the same final ripple carry-propagate
+//! stage with the carry-out dropped. Each reduction slot inlines the cell
+//! kind's [`FullAdderKind::structural_netlist`], so the elaborated design
+//! is the *hardware* the cost model prices — and the reference the
+//! compiled-simulation path is differentially verified against.
+//!
+//! Port convention matches `xlac_adders::hw`: operand `a` in inputs
+//! `0..N`, operand `b` in inputs `N..2N`, product LSB-first in the `2N`
+//! outputs.
+//!
+//! # Example
+//!
+//! ```
+//! use xlac_multipliers::hw::wallace_netlist;
+//! use xlac_multipliers::{Multiplier, WallaceMultiplier};
+//! use xlac_adders::FullAdderKind;
+//!
+//! # fn main() -> Result<(), xlac_core::XlacError> {
+//! let m = WallaceMultiplier::new(4, FullAdderKind::Apx2, 3)?;
+//! let nl = wallace_netlist(&m);
+//! let (a, b) = (11u64, 6u64);
+//! assert_eq!(nl.eval(a | (b << 4)), m.mul(a, b));
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::wallace::WallaceMultiplier;
+use crate::Multiplier;
+use xlac_adders::FullAdderKind;
+use xlac_logic::{GateKind, Netlist, NetlistBuilder, Signal};
+
+/// Elaborates a Wallace multiplier into a flat gate netlist (`2N` inputs,
+/// `2N` outputs, product truncated to `2N` bits like the behavioural
+/// model).
+#[must_use]
+pub fn wallace_netlist(m: &WallaceMultiplier) -> Netlist {
+    let w = m.width();
+    let cols = 2 * w;
+    let mut b = NetlistBuilder::new(m.name(), 2 * w);
+    let zero = b.constant(false);
+
+    // Cell netlists are tiny; cache the two kinds in play.
+    let approx_cell = m.cell_kind().structural_netlist();
+    let exact_cell = FullAdderKind::Accurate.structural_netlist();
+    let cell_for = |c: usize| -> &Netlist {
+        if c < m.approx_columns() {
+            &approx_cell
+        } else {
+            &exact_cell
+        }
+    };
+
+    // Partial products, in the behavioural walk's column order.
+    let mut columns: Vec<Vec<Signal>> = vec![Vec::new(); cols + 1];
+    for i in 0..w {
+        for j in 0..w {
+            let pp = b.gate(GateKind::And2, &[Signal::Input(i), Signal::Input(w + j)]);
+            columns[i + j].push(pp);
+        }
+    }
+
+    // Carry-save reduction: the identical pop/push schedule as
+    // `WallaceMultiplier::reduce`, with each (x, y, z) triple feeding an
+    // inlined cell netlist (ports [a, b, cin] -> [sum, cout]).
+    loop {
+        let mut reduced = false;
+        for c in 0..cols {
+            while columns[c].len() > 2 {
+                reduced = true;
+                let x = columns[c].pop().expect("len >= 3");
+                let y = columns[c].pop().expect("len >= 2");
+                let z = columns[c].pop().expect("len >= 1");
+                let outs = b.inline(cell_for(c), &[x, y, z]);
+                columns[c].push(outs[0]);
+                columns[c + 1].push(outs[1]);
+            }
+            if columns[c].len() == 2 && columns[c + 1].len() > 2 {
+                reduced = true;
+                let x = columns[c].pop().expect("len 2");
+                let y = columns[c].pop().expect("len 1");
+                let outs = b.inline(cell_for(c), &[x, y, zero]);
+                columns[c].push(outs[0]);
+                columns[c + 1].push(outs[1]);
+            }
+        }
+        if !reduced {
+            break;
+        }
+    }
+
+    // Final carry-propagate addition of the two remaining rows — the
+    // gate-for-gate mirror of the bit-sliced CPA tail (carry-out beyond
+    // column 2w-1 dropped, matching the behavioural truncate).
+    let mut carry = zero;
+    let mut product = Vec::with_capacity(cols);
+    for col in columns.iter().take(cols) {
+        let r0 = col.first().copied().unwrap_or(zero);
+        let r1 = col.get(1).copied().unwrap_or(zero);
+        let axb = b.gate(GateKind::Xor2, &[r0, r1]);
+        product.push(b.gate(GateKind::Xor2, &[axb, carry]));
+        let g = b.gate(GateKind::And2, &[r0, r1]);
+        let p = b.gate(GateKind::And2, &[axb, carry]);
+        carry = b.gate(GateKind::Or2, &[g, p]);
+    }
+    for s in product {
+        b.output(s);
+    }
+    b.finish().expect("wallace elaboration is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MultiplierX64;
+    use xlac_core::lanes::{from_planes, to_planes, LANES};
+    use xlac_core::rng::{DefaultRng, Rng};
+
+    #[test]
+    fn exact_wallace_netlist_is_exhaustively_equivalent() {
+        let m = WallaceMultiplier::new(4, FullAdderKind::Accurate, 0).unwrap();
+        let nl = wallace_netlist(&m);
+        assert_eq!(nl.n_inputs(), 8);
+        assert_eq!(nl.n_outputs(), 8);
+        for a in 0u64..16 {
+            for b in 0u64..16 {
+                assert_eq!(nl.eval(a | (b << 4)), a * b, "{a}x{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn approximate_wallace_netlists_match_behavioural_models() {
+        for (kind, cols) in [
+            (FullAdderKind::Apx1, 3),
+            (FullAdderKind::Apx2, 5),
+            (FullAdderKind::Apx4, 4),
+            (FullAdderKind::Apx5, 6),
+        ] {
+            let m = WallaceMultiplier::new(4, kind, cols).unwrap();
+            let nl = wallace_netlist(&m);
+            for a in 0u64..16 {
+                for b in 0u64..16 {
+                    assert_eq!(nl.eval(a | (b << 4)), m.mul(a, b), "{kind}: {a}x{b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wallace_8x8_netlist_matches_x64_model_on_random_lanes() {
+        let m = WallaceMultiplier::new(8, FullAdderKind::Apx2, 5).unwrap();
+        let nl = wallace_netlist(&m);
+        let mut rng = DefaultRng::seed_from_u64(0xDAC6);
+        let mut a = [0u64; LANES];
+        let mut b = [0u64; LANES];
+        rng.fill_u64(&mut a);
+        rng.fill_u64(&mut b);
+        let a = a.map(|v| v & 0xFF);
+        let b = b.map(|v| v & 0xFF);
+        let model = from_planes(&m.mul_x64(&to_planes(&a, 8), &to_planes(&b, 8)));
+        for j in 0..LANES {
+            assert_eq!(nl.eval(a[j] | (b[j] << 8)), model[j], "lane {j}");
+        }
+    }
+}

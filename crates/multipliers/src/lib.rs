@@ -42,6 +42,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod hw;
 pub mod mul2x2;
 pub mod multi_bit;
 pub mod signed;

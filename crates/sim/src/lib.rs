@@ -14,14 +14,22 @@
 //! This crate supplies the machinery that turns those evaluators into
 //! Monte-Carlo *sweeps*:
 //!
+//! * [`jit`] — a netlist → bit-plane compiler: any [`xlac_logic::Netlist`]
+//!   lowers to register-allocated straight-line bytecode interpreted
+//!   match-free over SIMD plane blocks of 64, 256 or 512 lanes
+//!   (`u64` / `[u64; 4]` / `[u64; 8]`), so parsed and generated netlists
+//!   reach hand-written `eval_x64` speed mechanically.
 //! * [`runner`] — a chunked multi-threaded sweep runner whose results are
 //!   **bitwise-identical for any worker count**: chunk RNG streams are
 //!   split off the parent sequentially before any thread runs, and chunk
-//!   results merge in chunk-index order.
+//!   results merge in chunk-index order; `auto_chunk_size` picks a chunk
+//!   size with load-balancing slack from the trial count alone.
 //! * [`sweeps`] — error-sweep drivers for multipliers, GeAr adders
 //!   (with and without the error-correction loop) and the SAD
 //!   accelerator, each with a scalar twin evaluating identical operands
-//!   through the golden models.
+//!   through the golden models, plus compiled-program sweep drivers
+//!   (`compiled_pair_sweep`, `compiled_sad_sweep`) generic over the
+//!   plane-block width.
 //!
 //! # Example
 //!
@@ -43,11 +51,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod jit;
 pub mod runner;
 pub mod sweeps;
 
-pub use runner::{default_threads, run_chunks, DEFAULT_CHUNK};
+pub use jit::{CompiledMultiplier, CompiledProgram, JitStats, Op, OpKind, OutSrc};
+pub use runner::{auto_chunk_size, default_threads, run_chunks, DEFAULT_CHUNK};
 pub use sweeps::{
-    gear_sweep, gear_sweep_scalar, multiplier_sweep, multiplier_sweep_scalar, sad_sweep,
-    sad_sweep_scalar, GearSweepResult, SadSweepResult, SweepOptions,
+    compiled_pair_sweep, compiled_sad_sweep, gear_sweep, gear_sweep_scalar, interpreted_pair_sweep,
+    multiplier_sweep, multiplier_sweep_scalar, sad_sweep, sad_sweep_scalar, GearSweepResult,
+    SadSweepResult, SweepOptions,
 };

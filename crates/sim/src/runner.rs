@@ -24,6 +24,24 @@ use xlac_obs::{obs_count, obs_span};
 /// split, one slot lock) is noise.
 pub const DEFAULT_CHUNK: u64 = 8192;
 
+/// Resolves the auto-tuned chunk size for a sweep of `trials` trials
+/// (the `chunk = 0` sentinel of [`run_chunks`]).
+///
+/// The fixed [`DEFAULT_CHUNK`] leaves small-but-parallel sweeps with
+/// fewer chunks than workers — a 65 536-trial sweep split 8 192 apart
+/// has only 8 chunks, so the slowest worker gates the whole sweep and
+/// 8-thread runs barely beat 1-thread. Targeting ~64 chunks restores
+/// load balancing while keeping per-chunk overhead negligible.
+///
+/// **Determinism contract:** the result is a pure function of `trials`
+/// alone — never of the thread count — because the chunk size selects
+/// which RNG stream each trial sees. Two sweeps over the same `trials`
+/// and seed therefore stay bitwise-comparable at any worker count.
+#[must_use]
+pub fn auto_chunk_size(trials: u64) -> u64 {
+    ((trials / 64).max(1)).next_power_of_two().clamp(256, DEFAULT_CHUNK)
+}
+
 /// Worker-thread count used when a sweep is configured with `threads = 0`:
 /// the `XLAC_SIM_THREADS` environment variable if set to a positive
 /// integer, otherwise the machine's available parallelism.
@@ -36,9 +54,10 @@ pub fn default_threads() -> usize {
         .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
 }
 
-/// Runs `eval` over `trials` trials split into chunks of `chunk` trials,
-/// on `threads` worker threads (`0` → [`default_threads`]), and returns
-/// the per-chunk results **in chunk-index order**.
+/// Runs `eval` over `trials` trials split into chunks of `chunk` trials
+/// (`0` → [`auto_chunk_size`]), on `threads` worker threads
+/// (`0` → [`default_threads`]), and returns the per-chunk results **in
+/// chunk-index order**.
 ///
 /// `eval(chunk_index, chunk_trials, rng)` evaluates one chunk with its
 /// own pre-split RNG stream. The result is independent of the thread
@@ -50,7 +69,7 @@ where
     F: Fn(usize, u64, DefaultRng) -> T + Sync,
 {
     let _span = obs_span!("sim.run_chunks");
-    let chunk = chunk.max(1);
+    let chunk = if chunk == 0 { auto_chunk_size(trials) } else { chunk };
     let n_chunks = usize::try_from(trials.div_ceil(chunk)).expect("chunk count fits usize");
     obs_count!("sim.chunks", n_chunks as u64);
     obs_count!("sim.trials", trials);
@@ -120,5 +139,32 @@ mod tests {
     fn zero_trials_yield_no_chunks() {
         let results = run_chunks(0, 1, 4, 64, |_, _, _| 0u64);
         assert!(results.is_empty());
+    }
+
+    #[test]
+    fn auto_chunk_targets_sixty_four_chunks_within_bounds() {
+        assert_eq!(auto_chunk_size(0), 256);
+        assert_eq!(auto_chunk_size(1), 256);
+        assert_eq!(auto_chunk_size(16_384), 256);
+        assert_eq!(auto_chunk_size(65_536), 1024);
+        assert_eq!(auto_chunk_size(1 << 20), 8192, "capped at DEFAULT_CHUNK");
+        for trials in [0u64, 63, 4_097, 100_032, u64::from(u32::MAX)] {
+            let c = auto_chunk_size(trials);
+            assert!((256..=DEFAULT_CHUNK).contains(&c), "{trials} -> {c}");
+            assert!(c.is_power_of_two());
+        }
+    }
+
+    #[test]
+    fn auto_chunk_sweeps_are_thread_count_invariant() {
+        use xlac_core::rng::Rng;
+        let sweep = |threads| {
+            run_chunks(10_000, 0xAC4, threads, 0, |_, n, mut rng| {
+                (0..n).map(|_| rng.next_u64()).fold(0u64, u64::wrapping_add)
+            })
+        };
+        let one = sweep(1);
+        assert_eq!(one, sweep(2));
+        assert_eq!(one, sweep(8));
     }
 }

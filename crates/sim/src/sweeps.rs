@@ -8,13 +8,16 @@
 //! scalar twin is the reference the differential tests and the
 //! `bitslice` benchmark compare against.
 
+use crate::jit::CompiledProgram;
 use crate::runner::{run_chunks, DEFAULT_CHUNK};
 use xlac_accel::sad::SadAccelerator;
 use xlac_adders::{AddOutcomeX64, GeArAdder};
 use xlac_core::bits;
 use xlac_core::lanes;
+use xlac_core::lanes::PlaneBlock;
 use xlac_core::metrics::{ErrorAccumulator, ErrorStats};
 use xlac_core::rng::{DefaultRng, Rng};
+use xlac_logic::Netlist;
 use xlac_multipliers::{Multiplier, MultiplierX64};
 use xlac_obs::{obs_count, obs_gauge, obs_span};
 
@@ -47,10 +50,24 @@ impl SweepOptions {
         self
     }
 
-    /// Sets the chunk size (clamped to ≥ 1 by the runner).
+    /// Sets the chunk size (`0` engages auto-tuning, see
+    /// [`SweepOptions::auto_chunk`]).
     #[must_use]
     pub fn chunk(mut self, chunk: u64) -> Self {
         self.chunk = chunk;
+        self
+    }
+
+    /// Auto-tunes the chunk size from the trial count
+    /// ([`crate::runner::auto_chunk_size`]): ~64 chunks per sweep, so
+    /// sweeps smaller than `64 × DEFAULT_CHUNK` trials still load-balance
+    /// across workers. The tuned size is a pure function of `trials`, so
+    /// results remain thread-count invariant — but they differ from a
+    /// fixed-chunk sweep over the same seed, since the chunk size selects
+    /// each trial's RNG stream.
+    #[must_use]
+    pub fn auto_chunk(mut self) -> Self {
+        self.chunk = 0;
         self
     }
 }
@@ -133,6 +150,131 @@ pub fn multiplier_sweep_scalar<M: Multiplier + Sync + ?Sized>(
             let (a, b) = draw_operands(&mut rng, w);
             for j in 0..lanes_n {
                 acc.push(a[j] * b[j], m.mul(a[j], b[j]));
+            }
+            remaining -= lanes_n as u64;
+        }
+        acc
+    });
+    let stats = merge_chunks(&chunks);
+    record_sweep_stats(&stats);
+    stats
+}
+
+/// Monte-Carlo error sweep of a compiled two-operand datapath
+/// ([`CompiledProgram`] over a `2·width`-input netlist, operand `a` in
+/// inputs `0..width`) on `B`-wide plane blocks: `64 × B::WORDS` trials
+/// per program pass, with `exact(a, b)` as the per-trial reference.
+///
+/// **Operand discipline:** each chunk draws the same 64-lane batches in
+/// the same order as [`multiplier_sweep`] — wide blocks pack *consecutive*
+/// batches into consecutive block words instead of changing the draw
+/// order. The statistics are therefore bitwise-identical across plane
+/// widths and equal to the scalar/interpreted twins by construction.
+///
+/// # Panics
+///
+/// Panics when the program does not have `2 × width` inputs or has more
+/// than 64 outputs.
+pub fn compiled_pair_sweep<B, F>(
+    prog: &CompiledProgram,
+    width: usize,
+    exact: F,
+    opts: &SweepOptions,
+) -> ErrorStats
+where
+    B: PlaneBlock,
+    F: Fn(u64, u64) -> u64 + Sync,
+{
+    let _span = obs_span!("sim.compiled_pair_sweep");
+    assert_eq!(prog.n_inputs(), 2 * width, "program inputs must be 2 x width");
+    assert!(prog.n_outputs() <= 64, "more than 64 outputs exceed a u64 lane value");
+    let chunks = run_chunks(opts.trials, opts.seed, opts.threads, opts.chunk, |_, n, mut rng| {
+        let mut acc = ErrorAccumulator::new();
+        let mut inputs: Vec<B> = vec![B::zeros(); 2 * width];
+        let mut regs: Vec<B> = Vec::new();
+        let mut outs: Vec<B> = Vec::new();
+        let mut batch_ab: Vec<([u64; 64], [u64; 64])> = Vec::with_capacity(B::WORDS);
+        let mut out_planes: Vec<u64> = vec![0u64; prog.n_outputs()];
+        let mut batches = 0u64;
+        let mut remaining = n;
+        while remaining > 0 {
+            let sub = B::WORDS.min(usize::try_from(remaining.div_ceil(lanes::LANES as u64))
+                .expect("batch count fits usize"));
+            batch_ab.clear();
+            for s in 0..sub {
+                let (a, b) = draw_operands(&mut rng, width);
+                let ap = lanes::to_planes(&a, width);
+                let bp = lanes::to_planes(&b, width);
+                for i in 0..width {
+                    inputs[i].set_word(s, ap[i]);
+                    inputs[width + i].set_word(s, bp[i]);
+                }
+                batch_ab.push((a, b));
+            }
+            // Zero stale words of a partial final block.
+            for s in sub..B::WORDS {
+                for inp in inputs.iter_mut() {
+                    inp.set_word(s, 0);
+                }
+            }
+            prog.run_into(&inputs, &mut regs, &mut outs);
+            for (s, (a, b)) in batch_ab.iter().enumerate() {
+                let lanes_n = remaining.min(lanes::LANES as u64) as usize;
+                for (p, o) in out_planes.iter_mut().zip(&outs) {
+                    *p = o.word(s);
+                }
+                let vals = lanes::from_planes(&out_planes);
+                for j in 0..lanes_n {
+                    acc.push(exact(a[j], b[j]), vals[j]);
+                }
+                batches += 1;
+                remaining -= lanes_n as u64;
+            }
+        }
+        obs_count!("sim.sweep.lanes", batches * lanes::LANES as u64);
+        acc
+    });
+    let stats = merge_chunks(&chunks);
+    record_sweep_stats(&stats);
+    stats
+}
+
+/// The interpreted twin of [`compiled_pair_sweep`]: the same operands,
+/// evaluated through [`Netlist::eval_words_into`] (per-gate dispatch on
+/// `u64` planes). This is the baseline the JIT throughput gate measures
+/// against, and a third voter in the differential tests.
+///
+/// # Panics
+///
+/// Panics when the netlist does not have `2 × width` inputs or has more
+/// than 64 outputs.
+pub fn interpreted_pair_sweep<F>(
+    netlist: &Netlist,
+    width: usize,
+    exact: F,
+    opts: &SweepOptions,
+) -> ErrorStats
+where
+    F: Fn(u64, u64) -> u64 + Sync,
+{
+    let _span = obs_span!("sim.interpreted_pair_sweep");
+    assert_eq!(netlist.n_inputs(), 2 * width, "netlist inputs must be 2 x width");
+    assert!(netlist.n_outputs() <= 64, "more than 64 outputs exceed a u64 lane value");
+    let chunks = run_chunks(opts.trials, opts.seed, opts.threads, opts.chunk, |_, n, mut rng| {
+        let mut acc = ErrorAccumulator::new();
+        let mut inputs: Vec<u64> = vec![0u64; 2 * width];
+        let mut values: Vec<u64> = Vec::new();
+        let mut outputs: Vec<u64> = Vec::new();
+        let mut remaining = n;
+        while remaining > 0 {
+            let lanes_n = remaining.min(lanes::LANES as u64) as usize;
+            let (a, b) = draw_operands(&mut rng, width);
+            inputs[..width].copy_from_slice(&lanes::to_planes(&a, width));
+            inputs[width..].copy_from_slice(&lanes::to_planes(&b, width));
+            netlist.eval_words_into(&inputs, &mut values, &mut outputs);
+            let vals = lanes::from_planes(&outputs);
+            for j in 0..lanes_n {
+                acc.push(exact(a[j], b[j]), vals[j]);
             }
             remaining -= lanes_n as u64;
         }
@@ -372,6 +514,87 @@ pub fn sad_sweep_scalar(sad: &SadAccelerator, opts: &SweepOptions) -> SadSweepRe
     result
 }
 
+/// Monte-Carlo sweep of a *compiled* SAD datapath
+/// (`xlac_accel::hw::sad_netlist` → [`CompiledProgram`]) on `B`-wide
+/// plane blocks, with the exact SAD as reference. Draws the identical
+/// block batches as [`sad_sweep`] in the identical order (wide blocks
+/// pack consecutive batches into block words), so the result equals the
+/// bit-sliced and scalar sweeps by construction.
+///
+/// The slot count comes from the program: `n_inputs / 16` (two 8-bit
+/// pixel operands per slot, current block first, slot-major).
+///
+/// # Panics
+///
+/// Panics when the program's input count is not a positive multiple of
+/// `2 × PIXEL_BITS` or it has more than 64 outputs.
+pub fn compiled_sad_sweep<B: PlaneBlock>(
+    prog: &CompiledProgram,
+    opts: &SweepOptions,
+) -> SadSweepResult {
+    let _span = obs_span!("sim.compiled_sad_sweep");
+    let pixel = SadAccelerator::PIXEL_BITS;
+    assert!(
+        prog.n_inputs() % (2 * pixel) == 0 && prog.n_inputs() > 0,
+        "SAD program inputs must be 2 x PIXEL_BITS planes per slot"
+    );
+    assert!(prog.n_outputs() <= 64, "more than 64 outputs exceed a u64 lane value");
+    let slots = prog.n_inputs() / (2 * pixel);
+    let chunks = run_chunks(opts.trials, opts.seed, opts.threads, opts.chunk, |_, n, mut rng| {
+        let mut acc = ErrorAccumulator::new();
+        let mut pairs: Vec<(u64, u64)> = Vec::new();
+        let mut inputs: Vec<B> = vec![B::zeros(); 2 * slots * pixel];
+        let mut regs: Vec<B> = Vec::new();
+        let mut outs: Vec<B> = Vec::new();
+        let mut blocks: Vec<(Vec<[u64; 64]>, Vec<[u64; 64]>)> = Vec::with_capacity(B::WORDS);
+        let mut out_planes: Vec<u64> = vec![0u64; prog.n_outputs()];
+        let mut remaining = n;
+        while remaining > 0 {
+            let sub = B::WORDS.min(usize::try_from(remaining.div_ceil(lanes::LANES as u64))
+                .expect("batch count fits usize"));
+            blocks.clear();
+            for s in 0..sub {
+                let (cur, refb) = draw_blocks(&mut rng, slots);
+                for (slot, (c, r)) in cur.iter().zip(&refb).enumerate() {
+                    let cp = lanes::to_planes(c, pixel);
+                    let rp = lanes::to_planes(r, pixel);
+                    for bit in 0..pixel {
+                        inputs[slot * pixel + bit].set_word(s, cp[bit]);
+                        inputs[(slots + slot) * pixel + bit].set_word(s, rp[bit]);
+                    }
+                }
+                blocks.push((cur, refb));
+            }
+            for s in sub..B::WORDS {
+                for inp in inputs.iter_mut() {
+                    inp.set_word(s, 0);
+                }
+            }
+            prog.run_into(&inputs, &mut regs, &mut outs);
+            for (s, (cur, refb)) in blocks.iter().enumerate() {
+                let lanes_n = remaining.min(lanes::LANES as u64) as usize;
+                for (p, o) in out_planes.iter_mut().zip(&outs) {
+                    *p = o.word(s);
+                }
+                let vals = lanes::from_planes(&out_planes);
+                for j in 0..lanes_n {
+                    let block_c: Vec<u64> = cur.iter().map(|slot| slot[j]).collect();
+                    let block_r: Vec<u64> = refb.iter().map(|slot| slot[j]).collect();
+                    let exact = SadAccelerator::sad_exact(&block_c, &block_r);
+                    acc.push(exact, vals[j]);
+                    pairs.push((exact, vals[j]));
+                }
+                remaining -= lanes_n as u64;
+            }
+        }
+        let count = pairs.len() as u64;
+        (acc, xlac_quality::mse_int_pairs(pairs), count)
+    });
+    let result = merge_sad_chunks(&chunks);
+    record_sweep_stats(&result.stats);
+    result
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -464,6 +687,49 @@ mod tests {
         let one = multiplier_sweep(&m, &base.threads(1));
         assert_eq!(one, multiplier_sweep(&m, &base.threads(2)));
         assert_eq!(one, multiplier_sweep(&m, &base.threads(8)));
+    }
+
+    #[test]
+    fn compiled_sweeps_match_every_twin_at_every_plane_width() {
+        use xlac_adders::FullAdderKind;
+        use xlac_multipliers::WallaceMultiplier;
+        let m = WallaceMultiplier::new(8, FullAdderKind::Apx2, 5).unwrap();
+        let nl = xlac_multipliers::hw::wallace_netlist(&m);
+        let prog = CompiledProgram::compile(&nl);
+        // 3000 trials: not a multiple of 64·WORDS, so partial blocks and a
+        // ragged final batch are exercised at every width.
+        let opts = SweepOptions::new(3_000, 0x3113).chunk(512);
+        let sliced = multiplier_sweep(&m, &opts);
+        let exact = |a: u64, b: u64| a * b;
+        assert_eq!(compiled_pair_sweep::<u64, _>(&prog, 8, exact, &opts), sliced);
+        assert_eq!(compiled_pair_sweep::<[u64; 4], _>(&prog, 8, exact, &opts), sliced);
+        assert_eq!(compiled_pair_sweep::<[u64; 8], _>(&prog, 8, exact, &opts), sliced);
+        assert_eq!(interpreted_pair_sweep(&nl, 8, exact, &opts), sliced);
+        assert_eq!(multiplier_sweep_scalar(&m, &opts), sliced);
+    }
+
+    #[test]
+    fn compiled_sweeps_honour_auto_chunk_and_thread_invariance() {
+        use xlac_adders::FullAdderKind;
+        use xlac_multipliers::WallaceMultiplier;
+        let m = WallaceMultiplier::new(4, FullAdderKind::Apx1, 3).unwrap();
+        let prog = CompiledProgram::compile(&xlac_multipliers::hw::wallace_netlist(&m));
+        let base = SweepOptions::new(2_000, 0xC41).auto_chunk();
+        let exact = |a: u64, b: u64| a * b;
+        let one = compiled_pair_sweep::<[u64; 8], _>(&prog, 4, exact, &base.threads(1));
+        assert_eq!(one, compiled_pair_sweep::<[u64; 8], _>(&prog, 4, exact, &base.threads(4)));
+        assert_eq!(one, multiplier_sweep(&m, &base));
+    }
+
+    #[test]
+    fn compiled_sad_sweep_matches_the_datapath_sweeps() {
+        let sad = SadAccelerator::new(4, SadVariant::ApxSad3, 2).unwrap();
+        let prog = CompiledProgram::compile(&xlac_accel::hw::sad_netlist(&sad));
+        let opts = SweepOptions::new(500, 0x5AD1).chunk(128);
+        let sliced = sad_sweep(&sad, &opts);
+        assert_eq!(compiled_sad_sweep::<u64>(&prog, &opts), sliced);
+        assert_eq!(compiled_sad_sweep::<[u64; 4]>(&prog, &opts), sliced);
+        assert_eq!(compiled_sad_sweep::<[u64; 8]>(&prog, &opts), sliced);
     }
 
     #[test]

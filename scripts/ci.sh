@@ -25,7 +25,12 @@
 #      bitslice bench's JSON lines are recorded into BENCH_bitslice.json
 #      and the symbolic engine's into BENCH_symbolic.json so the
 #      throughput and proof-cost trajectories are tracked in-tree;
-#   9. the observability layer (DESIGN.md §12): xlac-obs unit tests in
+#   9. the JIT gates (DESIGN.md §13): the differential fuzz suite, the
+#      symbolic golden proofs and the register-allocator fixtures as a
+#      named step, then the jit bench recorded into BENCH_jit.json with
+#      jit_gate enforcing the compiled-≥-interpreted floors (including
+#      the 5× Wallace 8×8 evaluation claim);
+#  10. the observability layer (DESIGN.md §12): xlac-obs unit tests in
 #      both feature configurations, then the differential + lint +
 #      exact gates re-run under the instrumented build (--features obs)
 #      to prove instrumentation changes no result, and finally the
@@ -84,6 +89,18 @@ XLAC_BENCH_SAMPLES=7 XLAC_BENCH_MIN_SAMPLE_MS=1 cargo bench -q -p xlac-bench \
 echo "==> symbolic engine report (BENCH_symbolic.json)"
 XLAC_BENCH_QUICK=1 cargo bench -q -p xlac-bench --bench symbolic --offline \
     | grep '^{' > BENCH_symbolic.json
+
+echo "==> jit differential suite (compiled vs interpreted vs scalar)"
+cargo test -q --offline --release --test jit_differential --test jit_golden \
+    --test jit_regalloc --test thread_scaling
+
+echo "==> jit throughput report (BENCH_jit.json)"
+XLAC_BENCH_SAMPLES=7 XLAC_BENCH_MIN_SAMPLE_MS=1 cargo bench -q -p xlac-bench \
+    --bench jit --offline \
+    | grep '^{' > BENCH_jit.json
+
+echo "==> jit throughput gate (compiled >= interpreted; Wallace x8 >= 5x)"
+cargo run -q --release -p xlac-bench --offline --bin jit_gate -- BENCH_jit.json
 
 echo "==> xlac-obs unit tests (no-op default build, then --features obs)"
 cargo test -q -p xlac-obs --offline

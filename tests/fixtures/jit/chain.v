@@ -1,0 +1,24 @@
+// Liveness edge case: a serial AND chain. Each link's operands die as
+// the link executes, so the destination recycles a dying register —
+// the whole eight-input chain runs in the eight pinned input registers.
+module chain (
+    input  wire i0,
+    input  wire i1,
+    input  wire i2,
+    input  wire i3,
+    input  wire i4,
+    input  wire i5,
+    input  wire i6,
+    input  wire i7,
+    output wire y
+);
+    wire w0, w1, w2, w3, w4, w5;
+
+    and g0 (w0, i0, i1);
+    and g1 (w1, w0, i2);
+    and g2 (w2, w1, i3);
+    and g3 (w3, w2, i4);
+    and g4 (w4, w3, i5);
+    and g5 (w5, w4, i6);
+    and g6 (y, w5, i7);
+endmodule

@@ -1,0 +1,16 @@
+// Liveness edge case: a cone rooted in constants. a&0 folds to 0,
+// 0|b folds to b, b^1 folds to !b — the whole module is one inverted
+// passthrough and must compile to zero ops.
+module const_cone (
+    input  wire a,
+    input  wire b,
+    output wire y
+);
+    wire w0, w1, w2;
+
+    and g0 (w0, a, 1'b0);
+    or  g1 (w1, w0, b);
+    xor g2 (w2, w1, 1'b1);
+
+    assign y = w2;
+endmodule

@@ -1,0 +1,17 @@
+// Liveness edge case: diamond reconvergence. w0 fans out to both
+// diamond arms, so it must stay live across the first arm's op and its
+// register may only be recycled after the second arm consumed it.
+module diamond (
+    input  wire a,
+    input  wire b,
+    input  wire c,
+    output wire y
+);
+    wire w0, w1, w2;
+
+    and g0 (w0, a, b);
+    xor g1 (w1, w0, c);
+    or  g2 (w2, w0, c);
+
+    and g3 (y, w1, w2);
+endmodule

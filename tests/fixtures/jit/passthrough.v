@@ -1,0 +1,18 @@
+// Liveness edge case: no compute at all. Outputs alias an input, an
+// inverted input, and a constant — the JIT must emit zero ops and
+// resolve every output at the OutSrc layer.
+module passthrough (
+    input  wire a,
+    input  wire b,
+    output wire y0,
+    output wire y1,
+    output wire y2
+);
+    wire w0;
+
+    not g0 (w0, b);
+
+    assign y0 = a;
+    assign y1 = w0;
+    assign y2 = 1'b1;
+endmodule

@@ -1,0 +1,41 @@
+// Liveness edge case: register pressure. Every input is also a primary
+// output, so no input register is ever freed; the five overlap products
+// stay live until the XOR tree consumes them. With the demand-order
+// schedule (tree xors interleave with the products as each pair is
+// ready), the peak live set is 6 pinned inputs + 3 temporaries.
+module pressure (
+    input  wire i0,
+    input  wire i1,
+    input  wire i2,
+    input  wire i3,
+    input  wire i4,
+    input  wire i5,
+    output wire y,
+    output wire e0,
+    output wire e1,
+    output wire e2,
+    output wire e3,
+    output wire e4,
+    output wire e5
+);
+    wire w0, w1, w2, w3, w4;
+    wire t0, t1, t2;
+
+    and g0 (w0, i0, i1);
+    and g1 (w1, i1, i2);
+    and g2 (w2, i2, i3);
+    and g3 (w3, i3, i4);
+    and g4 (w4, i4, i5);
+
+    xor g5 (t0, w0, w1);
+    xor g6 (t1, w2, w3);
+    xor g7 (t2, t0, t1);
+    xor g8 (y, t2, w4);
+
+    assign e0 = i0;
+    assign e1 = i1;
+    assign e2 = i2;
+    assign e3 = i3;
+    assign e4 = i4;
+    assign e5 = i5;
+endmodule
