@@ -41,10 +41,10 @@ impl RippleCarryAdder {
     ///
     /// # Panics
     ///
-    /// Panics if `width` is 0 or exceeds 63.
+    /// Panics if `width` is 0 or exceeds 64.
     #[must_use]
     pub fn accurate(width: usize) -> Self {
-        assert!((1..=63).contains(&width), "adder width {width} out of 1..=63");
+        assert!((1..=64).contains(&width), "adder width {width} out of 1..=64");
         RippleCarryAdder { cells: vec![FullAdderKind::Accurate; width] }
     }
 
@@ -54,10 +54,10 @@ impl RippleCarryAdder {
     /// # Errors
     ///
     /// Returns [`XlacError::InvalidConfiguration`] when
-    /// `approx_lsbs > width` or `width` is outside `1..=63`.
+    /// `approx_lsbs > width` or `width` is outside `1..=64`.
     pub fn with_approx_lsbs(width: usize, kind: FullAdderKind, approx_lsbs: usize) -> Result<Self> {
-        if width == 0 || width > 63 {
-            return Err(XlacError::InvalidWidth { width, max: 63 });
+        if width == 0 || width > 64 {
+            return Err(XlacError::InvalidWidth { width, max: 64 });
         }
         if approx_lsbs > width {
             return Err(XlacError::InvalidConfiguration(format!(
@@ -73,10 +73,10 @@ impl RippleCarryAdder {
     ///
     /// # Errors
     ///
-    /// Returns [`XlacError::InvalidWidth`] for empty or > 63-cell chains.
+    /// Returns [`XlacError::InvalidWidth`] for empty or > 64-cell chains.
     pub fn from_cells(cells: Vec<FullAdderKind>) -> Result<Self> {
-        if cells.is_empty() || cells.len() > 63 {
-            return Err(XlacError::InvalidWidth { width: cells.len(), max: 63 });
+        if cells.is_empty() || cells.len() > 64 {
+            return Err(XlacError::InvalidWidth { width: cells.len(), max: 64 });
         }
         Ok(RippleCarryAdder { cells })
     }
@@ -144,7 +144,14 @@ impl Adder for RippleCarryAdder {
             sum |= s << i;
             carry = c;
         }
-        sum | (carry << w)
+        // At the full 64-bit width the carry-out has no representable
+        // position: the scalar result is the sum modulo 2^64 (the
+        // bit-sliced `add_x64` still reports the carry as plane 64).
+        if w < 64 {
+            sum | (carry << w)
+        } else {
+            sum
+        }
     }
 
     fn name(&self) -> String {
@@ -251,7 +258,21 @@ mod tests {
     fn config_validation() {
         assert!(RippleCarryAdder::with_approx_lsbs(8, FullAdderKind::Apx1, 9).is_err());
         assert!(RippleCarryAdder::with_approx_lsbs(0, FullAdderKind::Apx1, 0).is_err());
+        assert!(RippleCarryAdder::with_approx_lsbs(65, FullAdderKind::Apx1, 0).is_err());
         assert!(RippleCarryAdder::from_cells(vec![]).is_err());
+    }
+
+    #[test]
+    fn full_width_adder_wraps_modulo_2_64() {
+        // Width 64 (the recursive 32×32 top-level summation): the scalar
+        // result is the mod-2^64 sum, the bit-sliced form keeps the carry
+        // in plane 64.
+        let rca = RippleCarryAdder::accurate(64);
+        assert_eq!(rca.add(u64::MAX, 1), 0);
+        assert_eq!(rca.add(u64::MAX, u64::MAX), u64::MAX.wrapping_mul(2));
+        let planes = rca.add_x64(&[u64::MAX; 64], &[u64::MAX; 64]);
+        assert_eq!(planes.len(), 65);
+        assert_eq!(planes[64], u64::MAX, "carry-out plane survives bit-sliced");
     }
 
     #[test]

@@ -30,7 +30,8 @@ use xlac_analysis::parse::{parse_verilog_library, RawNetlist};
 use xlac_analysis::symbolic::audit::{audit_bounds, audits_to_json};
 use xlac_analysis::symbolic::registry::{proofs_to_json, prove_all, ProofStatus};
 use xlac_analysis::validate::run_all_checks;
-use xlac_multipliers::{ConfigurableMul2x2, Mul2x2Kind};
+use xlac_multipliers::{ConfigurableMul2x2, Mul2x2Kind, WallaceMultiplier};
+use xlac_sim::CompiledProgram;
 
 struct Options {
     json: bool,
@@ -87,6 +88,40 @@ fn builtin_reports() -> Vec<LintReport> {
     reports
 }
 
+/// Compiles every shipped netlist through the JIT and runs the static
+/// bytecode verifier on each program. A violation here means the
+/// compiler itself regressed — the bit-sliced sweeps would silently
+/// compute wrong planes — so it gates CI alongside unsound bounds.
+fn jit_violations() -> Vec<String> {
+    let mut netlists = Vec::new();
+    for kind in FullAdderKind::ALL {
+        netlists.push(kind.structural_netlist());
+        netlists.push(kind.synthesized_netlist());
+    }
+    for kind in Mul2x2Kind::ALL {
+        netlists.push(kind.netlist());
+    }
+    for kind in [Mul2x2Kind::ApxSoA, Mul2x2Kind::ApxOur] {
+        netlists.push(ConfigurableMul2x2::new(kind).netlist());
+    }
+    for kind in FullAdderKind::ALL {
+        if let Ok(rca) = xlac_adders::RippleCarryAdder::with_approx_lsbs(8, kind, 3) {
+            netlists.push(xlac_adders::hw::ripple_netlist(&rca));
+        }
+    }
+    if let Ok(m) = WallaceMultiplier::new(8, FullAdderKind::Apx2, 8) {
+        netlists.push(xlac_multipliers::hw::wallace_netlist(&m));
+    }
+    let mut violations = Vec::new();
+    for nl in &netlists {
+        let prog = CompiledProgram::compile(nl);
+        for v in prog.verify() {
+            violations.push(format!("{}: {v}", nl.name()));
+        }
+    }
+    violations
+}
+
 fn hdl_reports(dir: &PathBuf) -> Result<Vec<LintReport>, String> {
     let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
         .map_err(|e| format!("cannot read {}: {e}", dir.display()))?
@@ -138,6 +173,8 @@ fn main() -> ExitCode {
         .count();
     let warnings: usize =
         reports.iter().map(|r| r.diagnostics.len()).sum::<usize>() - errors;
+
+    let jit_bad = jit_violations();
 
     let mut unsound = Vec::new();
     let mut checked = 0usize;
@@ -206,6 +243,13 @@ fn main() -> ExitCode {
             "xlac-lint: {} module(s), {errors} error(s), {warnings} warning(s)\n",
             reports.len()
         ));
+        for v in &jit_bad {
+            out.push_str(&format!("error: jit bytecode: {v}\n"));
+        }
+        out.push_str(&format!(
+            "xlac-lint: jit bytecode verifier, {} violation(s)\n",
+            jit_bad.len()
+        ));
         if !opts.lint_only {
             out.push_str(&format!(
                 "xlac-lint: {checked} bound check(s), {} unsound\n",
@@ -260,6 +304,7 @@ fn main() -> ExitCode {
     }
 
     if errors > 0
+        || !jit_bad.is_empty()
         || !unsound.is_empty()
         || refuted > 0
         || unsound_audits > 0

@@ -104,6 +104,20 @@ impl ErrorBound {
             ..*self
         }
     }
+
+    /// The fieldwise minimum of two sound bounds on the *same* quantity.
+    /// Both envelopes hold for every input, so their intersection does
+    /// too — this is how a certified calculus result sharpens a
+    /// conservative structural bound without replacing it.
+    #[must_use]
+    pub fn tightened(&self, other: &ErrorBound) -> ErrorBound {
+        ErrorBound {
+            over: self.over.min(other.over),
+            under: self.under.min(other.under),
+            mean_abs: self.mean_abs.min(other.mean_abs),
+            error_rate_bound: self.error_rate_bound.min(other.error_rate_bound),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -143,6 +157,17 @@ mod tests {
         assert!((r.error_rate_bound - 0.4).abs() < 1e-12);
         let n = b.negated();
         assert_eq!((n.over, n.under), (1, 3));
+    }
+
+    #[test]
+    fn tightening_takes_the_fieldwise_min() {
+        let a = ErrorBound { over: 3, under: 7, mean_abs: 0.5, error_rate_bound: 0.9 };
+        let b = ErrorBound { over: 5, under: 2, mean_abs: 0.8, error_rate_bound: 0.1 };
+        let t = a.tightened(&b);
+        assert_eq!((t.over, t.under), (3, 2));
+        assert_eq!(t.mean_abs, 0.5);
+        assert_eq!(t.error_rate_bound, 0.1);
+        assert_eq!(a.tightened(&a), a);
     }
 
     #[test]

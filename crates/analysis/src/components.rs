@@ -358,6 +358,23 @@ pub fn wallace_bound(mul: &WallaceMultiplier) -> ErrorBound {
     }
 }
 
+/// [`wallace_bound`] sharpened by the compositional error calculus.
+///
+/// The structural bound sums every cell's worst deviation as if all could
+/// fire at once, which overshoots the true worst case by well over an
+/// order of magnitude. The calculus instead model-counts the deviation
+/// over the approximate cone, certifying the exact distribution at every
+/// shipped width; its envelope intersects the structural one fieldwise
+/// (both are sound for the same quantity). A node budget keeps the
+/// symbolic replay from churning — past it the structural bound stands
+/// alone.
+#[must_use]
+pub fn certified_wallace_bound(mul: &WallaceMultiplier) -> ErrorBound {
+    let structural = wallace_bound(mul);
+    let certified = crate::symbolic::calculus::wallace_calculus(mul, Some(1 << 18));
+    structural.tightened(&certified.to_error_bound())
+}
+
 /// Number of partial products in column `c` of a `w × w` array.
 fn column_population(c: usize, w: usize) -> u128 {
     (c + 1).min(w).min(2 * w - 1 - c) as u128
@@ -581,7 +598,7 @@ pub fn builtin_profiles() -> Result<Vec<StaticProfile>> {
         let mul = WallaceMultiplier::new(8, kind, cols)?;
         profiles.push(StaticProfile {
             name: mul.name(),
-            bound: wallace_bound(&mul),
+            bound: certified_wallace_bound(&mul),
             cost: mul.hw_cost(),
         });
     }
@@ -663,6 +680,25 @@ mod tests {
         assert!(b.under >= (1 << 8) - 1, "wrap hazard missing: {b:?}");
         // The hazard witness itself: 0xF8 − 0 reports (0, borrow-free).
         assert_eq!(hazard.sub(0xF8, 0), (0, true));
+    }
+
+    #[test]
+    fn certified_wallace_bound_sharpens_the_structural_one() {
+        // The structural per-cell sum overshoots the true worst case by
+        // well over an order of magnitude; the calculus envelope is the
+        // exact distribution, so the tightening must bite hard.
+        let mul = WallaceMultiplier::new(8, FullAdderKind::Apx2, 8).unwrap();
+        let structural = wallace_bound(&mul);
+        let certified = certified_wallace_bound(&mul);
+        assert!(certified.wce() > 0);
+        assert!(
+            certified.wce() * 10 <= structural.wce(),
+            "certified {} vs structural {}: expected >10x sharpening",
+            certified.wce(),
+            structural.wce()
+        );
+        assert!(certified.mean_abs <= structural.mean_abs);
+        assert!(certified.error_rate_bound <= structural.error_rate_bound);
     }
 
     #[test]

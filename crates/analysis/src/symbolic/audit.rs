@@ -231,6 +231,56 @@ pub fn audit_bounds() -> Vec<BoundAudit> {
         ));
     }
 
+    // The compositional error calculus' certified envelopes, regressed
+    // against the same monolithic metrics. For the Wallace and truncated
+    // families the calculus certifies the exact distribution, so the
+    // envelope must match the monolithic proof with zero WCE slack; the
+    // recursive intervals must contain it.
+    for (kind, cols) in [
+        (FullAdderKind::Apx2, 4),
+        (FullAdderKind::Apx4, 8),
+        (FullAdderKind::Apx5, 8),
+    ] {
+        let mul = WallaceMultiplier::new(8, kind, cols).expect("shipped configuration");
+        let bound = super::calculus::wallace_calculus(&mul, None).to_error_bound();
+        audits.push(audit_pair(
+            format!("calculus:{}", mul.name()),
+            8,
+            &bound,
+            |bdd, a, b| twins::wallace_multiplier(bdd, &mul, a, b),
+            twins::mul_exact,
+        ));
+    }
+    for (dropped, compensated) in [(2, false), (4, true), (6, true)] {
+        let mul = TruncatedMultiplier::new(8, dropped, compensated)
+            .expect("shipped configuration");
+        let bound = super::calculus::truncated_calculus(&mul).to_error_bound();
+        audits.push(audit_pair(
+            format!("calculus:{}", mul.name()),
+            8,
+            &bound,
+            |bdd, a, b| twins::truncated_multiplier(bdd, &mul, a, b),
+            twins::mul_exact,
+        ));
+    }
+    for block in Mul2x2Kind::ALL {
+        for sum in [
+            SumMode::Accurate,
+            SumMode::ApproxLsbs { kind: FullAdderKind::Apx2, lsbs: 2 },
+        ] {
+            let mul = xlac_multipliers::RecursiveMultiplier::new(8, block, sum)
+                .expect("shipped configuration");
+            let bound = super::calculus::recursive_calculus(&mul).to_error_bound();
+            audits.push(audit_pair(
+                format!("calculus:{}", mul.name()),
+                8,
+                &bound,
+                |bdd, a, b| twins::recursive_multiplier(bdd, 8, block, sum, a, b),
+                twins::mul_exact,
+            ));
+        }
+    }
+
     audits
 }
 
@@ -290,6 +340,29 @@ mod tests {
                 a.exact_error_rate,
                 a.exact_med
             );
+        }
+    }
+
+    #[test]
+    fn calculus_envelopes_match_the_monolithic_proof_where_exact() {
+        let audits = audit_bounds();
+        let calculus: Vec<&BoundAudit> =
+            audits.iter().filter(|a| a.name.starts_with("calculus:")).collect();
+        assert!(calculus.len() >= 12, "calculus audit sweep missing configs");
+        for a in &calculus {
+            assert!(a.sound, "{}: certified envelope unsound", a.name);
+            if a.name.contains("Wallace") || a.name.contains("TruncMul") {
+                assert_eq!(
+                    a.wce_slack, 0,
+                    "{}: exact distribution must have zero WCE slack",
+                    a.name
+                );
+                assert!(
+                    (a.bound_error_rate - a.exact_error_rate).abs() < 1e-9,
+                    "{}: exact distribution must reproduce the error rate",
+                    a.name
+                );
+            }
         }
     }
 

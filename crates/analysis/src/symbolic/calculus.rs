@@ -1,0 +1,743 @@
+//! The compositional error calculus: certified multiplier error metrics
+//! at widths the monolithic miter cannot reach (DESIGN.md §14).
+//!
+//! The monolithic approach — build the full `approx ⊕ exact` miter over
+//! all `2w` operand variables and model-count it — inverts at density:
+//! the Wallace 8×8 miter alone costs hundreds of thousands of BDD nodes,
+//! and 16×16/32×32 are out of reach entirely. The calculus exploits the
+//! *structure* of each family instead:
+//!
+//! * **Wallace** — reduction-cell deviations enter the product affinely
+//!   (`result = exact + Σ 2^col·d_cell mod 2^{2w}`), and every
+//!   approximate cell lives in the low `approx_cols` columns, so the
+//!   *total* deviation word is a function of only the low operand bits.
+//!   Replaying just the approximate prefix of the reduction symbolically
+//!   and running the PMF extractor over that small cone yields the
+//!   **exact** deviation PMF at *any* width — 32×32 included — in a
+//!   fraction of the monolithic miter's nodes.
+//! * **Truncated** — the error `comp − D(a, b)` depends only on the low
+//!   `min(dropped, w)` bits of each operand; the same small-cone model
+//!   counting applies and is again **exact at any width**.
+//! * **Recursive** — the 2×2 leaf blocks sit on uniform digit fields, so
+//!   their error PMFs (model-counted from the 4-variable block miter)
+//!   are exact marginals. Disjoint-operand sub-products (`ll`/`hh` and
+//!   `lh`/`hl`) convolve exactly; the remaining combinations share
+//!   operand digits and combine as **certified intervals** whose mean
+//!   stays exact by linearity of expectation. Internal adder deviations
+//!   enter as distribution-free interval terms, mirroring the static
+//!   layer's affine decomposition gate for gate.
+//!
+//! Every result is a [`CertifiedMetrics`]: either the exact error PMF
+//! (WCE/MED/ER are then *proven values*) or a certified interval
+//! (sound ceilings). Soundness is regression-audited against exhaustive
+//! enumeration and bit-sliced Monte-Carlo in `audit_calculus` and the
+//! `tests/pmf_calculus.rs` property suite.
+
+use xlac_adders::RippleCarryAdder;
+use xlac_multipliers::{
+    Mul2x2Kind, Multiplier, RecursiveMultiplier, SumMode, TruncatedMultiplier, WallaceMultiplier,
+};
+
+use super::bdd::{Bdd, BddBudgetExceeded, Ref, FALSE, TRUE};
+use super::compile::interleaved_operand_vars;
+use super::pmf::{signed_word_pmf, ErrorInterval, ErrorModel, ErrorPmf};
+use super::twins;
+use crate::bound::ErrorBound;
+use crate::components::{cell_deviation, ripple_adder_bound};
+
+/// Default live-node ceiling for the budget-guarded Wallace replay; past
+/// it the calculus degrades to the per-cell interval combination instead
+/// of churning.
+pub const DEFAULT_NODE_BUDGET: usize = 1 << 20;
+
+/// Certified error metrics for one multiplier configuration: the error
+/// model (`approx − exact`, wrap-adjusted) plus provenance.
+#[derive(Debug, Clone)]
+pub struct CertifiedMetrics {
+    /// Configuration name (`Multiplier::name`).
+    pub name: String,
+    /// Operand width in bits.
+    pub width: usize,
+    /// The certified model of `approx(a, b) − a·b` under uniform inputs.
+    pub model: ErrorModel,
+}
+
+impl CertifiedMetrics {
+    /// `true` when the model is the exact error distribution, making
+    /// [`wce_hi`](Self::wce_hi) / [`med_hi`](Self::med_hi) /
+    /// [`er_hi`](Self::er_hi) proven values rather than ceilings.
+    #[must_use]
+    pub fn is_exact_distribution(&self) -> bool {
+        self.model.is_exact_pmf()
+    }
+
+    /// The *proven* worst-case error, when the distribution is exact.
+    #[must_use]
+    pub fn exact_wce(&self) -> Option<u128> {
+        self.model.pmf().map(ErrorPmf::wce)
+    }
+
+    /// Certified worst-case-error ceiling (exact value when
+    /// [`is_exact_distribution`](Self::is_exact_distribution)).
+    #[must_use]
+    pub fn wce_hi(&self) -> u128 {
+        self.model.interval().wce()
+    }
+
+    /// Certified mean-error-distance ceiling (exact value when the
+    /// distribution is exact).
+    #[must_use]
+    pub fn med_hi(&self) -> f64 {
+        self.model.interval().mean_abs_hi
+    }
+
+    /// Certified error-rate ceiling (exact value when the distribution is
+    /// exact).
+    #[must_use]
+    pub fn er_hi(&self) -> f64 {
+        self.model.interval().rate_hi
+    }
+
+    /// The metrics collapsed onto the static bound domain.
+    #[must_use]
+    pub fn to_error_bound(&self) -> ErrorBound {
+        self.model.to_error_bound()
+    }
+}
+
+/// Ripples a single bit into `acc` at weight `at` (the BDD mirror of the
+/// scalar accumulate-with-carry walk).
+fn ripple_into(bdd: &mut Bdd, acc: &mut [Ref], at: usize, bit: Ref) {
+    let mut carry = bit;
+    for slot in acc.iter_mut().skip(at) {
+        if carry == FALSE {
+            return;
+        }
+        let s = bdd.xor(*slot, carry);
+        carry = bdd.and(*slot, carry);
+        *slot = s;
+    }
+}
+
+/// `pos − neg` as a two's-complement word of `width + 1` bits; both
+/// operands must genuinely fit in `width` bits.
+fn signed_diff(bdd: &mut Bdd, pos: &[Ref], neg: &[Ref]) -> Vec<Ref> {
+    let mut pos_ext = pos.to_vec();
+    pos_ext.push(FALSE);
+    let not_neg: Vec<Ref> = neg.iter().map(|&x| bdd.not(x)).chain([TRUE]).collect();
+    let mut diff = twins::add_exact(bdd, &pos_ext, &not_neg, TRUE);
+    diff.truncate(pos.len() + 1);
+    diff
+}
+
+/// The exact signed error PMF of a 2×2 elementary block, by model
+/// counting the 4-variable block-vs-exact miter.
+#[must_use]
+pub fn block_error_pmf(block: Mul2x2Kind) -> ErrorPmf {
+    let mut bdd = Bdd::new();
+    let (a, b) = interleaved_operand_vars(&mut bdd, 2);
+    let approx = twins::mul2x2(&mut bdd, block, a[0], a[1], b[0], b[1]);
+    let exact = twins::mul_exact(&mut bdd, &a, &b);
+    let diff = signed_diff(&mut bdd, &approx, &exact);
+    signed_word_pmf(&bdd, &diff, 4)
+}
+
+/// Largest raw value a 2×2 block can emit.
+fn mul2x2_max_value(block: Mul2x2Kind) -> u128 {
+    (0..4u64).flat_map(|a| (0..4u64).map(move |b| block.mul(a, b))).max().unwrap_or(0) as u128
+}
+
+// ---------------------------------------------------------------------
+// Wallace
+// ---------------------------------------------------------------------
+
+/// Signed two's-complement value of `word` under `assignment` (bit `i` of
+/// the assignment drives BDD variable `i`).
+fn eval_signed_word(bdd: &Bdd, word: &[Ref], assignment: u64) -> i128 {
+    let mut v = 0i128;
+    for (i, &bit) in word.iter().enumerate() {
+        if bdd.eval(bit, assignment) {
+            if i + 1 == word.len() {
+                v -= 1i128 << i;
+            } else {
+                v += 1i128 << i;
+            }
+        }
+    }
+    v
+}
+
+/// Symbolic replay of the approximate prefix of the Wallace reduction:
+/// returns the exact PMF of the total deviation `Σ 2^col·d_cell`, plus
+/// the exact maximum of the raw (pre-truncation) product value.
+///
+/// The full schedule is replayed structurally (column populations drive
+/// cell firing), but only columns below `approx_cols` carry live BDD
+/// bits — everything above is an inert placeholder, so the diagram stays
+/// within the approximate cone of `2·min(approx_cols, w)` variables.
+fn wallace_deviation_pmf(
+    m: &WallaceMultiplier,
+    node_budget: Option<usize>,
+) -> Result<(ErrorPmf, u128), BddBudgetExceeded> {
+    let w = m.width();
+    let cols = 2 * w;
+    let a_cols = m.approx_columns();
+    let cone_w = a_cols.min(w);
+    let n_vars = 2 * cone_w;
+
+    let mut bdd = Bdd::new();
+    let (av, bv) = interleaved_operand_vars(&mut bdd, cone_w);
+
+    let mut columns: Vec<Vec<Ref>> = vec![Vec::new(); cols + 1];
+    for i in 0..w {
+        for j in 0..w {
+            let bit = if i + j < a_cols { bdd.and(av[i], bv[j]) } else { FALSE };
+            columns[i + j].push(bit);
+        }
+    }
+
+    // Deviation accumulators: Σ 2^col·(s + 2·cout) and Σ 2^col·(x + y + z)
+    // over the approximate cells. Width margin: ≤ w² cells, each
+    // contributing ≤ 6 at weight < 2^{a_cols+1}.
+    let dev_width = a_cols + 16;
+    let mut pos = vec![FALSE; dev_width];
+    let mut neg = vec![FALSE; dev_width];
+    let check_budget = |bdd: &Bdd| -> Result<(), BddBudgetExceeded> {
+        match node_budget {
+            Some(budget) if bdd.stats().live_nodes > budget => {
+                Err(BddBudgetExceeded { budget, live_nodes: bdd.stats().live_nodes })
+            }
+            _ => Ok(()),
+        }
+    };
+
+    loop {
+        let mut reduced = false;
+        for c in 0..cols {
+            while columns[c].len() > 2 {
+                reduced = true;
+                let x = columns[c].pop().expect("len >= 3");
+                let y = columns[c].pop().expect("len >= 2");
+                let z = columns[c].pop().expect("len >= 1");
+                if c < a_cols {
+                    let (s, carry) = twins::full_adder(&mut bdd, m.cell_kind(), x, y, z);
+                    columns[c].push(s);
+                    columns[c + 1].push(if c + 1 < a_cols { carry } else { FALSE });
+                    ripple_into(&mut bdd, &mut pos, c, s);
+                    ripple_into(&mut bdd, &mut pos, c + 1, carry);
+                    for input in [x, y, z] {
+                        ripple_into(&mut bdd, &mut neg, c, input);
+                    }
+                    check_budget(&bdd)?;
+                } else {
+                    columns[c].push(FALSE);
+                    columns[c + 1].push(FALSE);
+                }
+            }
+            if columns[c].len() == 2 && columns[c + 1].len() > 2 {
+                reduced = true;
+                let x = columns[c].pop().expect("len 2");
+                let y = columns[c].pop().expect("len 1");
+                if c < a_cols {
+                    let (s, carry) = twins::full_adder(&mut bdd, m.cell_kind(), x, y, FALSE);
+                    columns[c].push(s);
+                    columns[c + 1].push(if c + 1 < a_cols { carry } else { FALSE });
+                    ripple_into(&mut bdd, &mut pos, c, s);
+                    ripple_into(&mut bdd, &mut pos, c + 1, carry);
+                    for input in [x, y] {
+                        ripple_into(&mut bdd, &mut neg, c, input);
+                    }
+                    check_budget(&bdd)?;
+                } else {
+                    columns[c].push(FALSE);
+                    columns[c + 1].push(FALSE);
+                }
+            }
+        }
+        if !reduced {
+            break;
+        }
+    }
+
+    let diff = signed_diff(&mut bdd, &pos, &neg);
+    let pmf = signed_word_pmf(&bdd, &diff, n_vars);
+
+    // Exact wrap hazard: the raw product is a·b + D, and D depends only
+    // on the low `cone_w` bits of each operand while a·b is monotone in
+    // the high bits — so the maximum sits at all-ones high parts, with
+    // the cone enumerated. That replaces the static layer's
+    // `exact_max + Σ d_max` ceiling (which trips the hazard spuriously)
+    // with the true maximum.
+    let exact_max = ((1u128 << w) - 1) * ((1u128 << w) - 1);
+    let raw_max = if n_vars <= 16 {
+        let high = (1u128 << w) - (1u128 << cone_w);
+        let mut best = 0u128;
+        for x in 0..1u64 << cone_w {
+            for y in 0..1u64 << cone_w {
+                let mut asg = 0u64;
+                for i in 0..cone_w {
+                    asg |= ((x >> i) & 1) << (2 * i);
+                    asg |= ((y >> i) & 1) << (2 * i + 1);
+                }
+                let d = eval_signed_word(&bdd, &diff, asg);
+                let a = high + u128::from(x);
+                let b = high + u128::from(y);
+                let raw = (a * b) as i128 + d;
+                best = best.max(raw.max(0) as u128);
+            }
+        }
+        best
+    } else {
+        exact_max.saturating_add(pmf.max().max(0).unsigned_abs())
+    };
+    Ok((pmf, raw_max))
+}
+
+/// Per-cell interval fallback: the deviation envelope from each cell's
+/// truth table at its column weight, combined as a dependent sum —
+/// essentially the static `wallace_bound` lifted into the interval
+/// domain.
+fn wallace_interval(m: &WallaceMultiplier) -> ErrorInterval {
+    let mut env = ErrorInterval::ZERO;
+    for p in m.cell_placements() {
+        let d = cell_deviation(p.kind, p.half_adder);
+        if d.d_max == 0 && d.d_min == 0 {
+            continue;
+        }
+        let lo = i128::from(d.d_min) << p.column;
+        let hi = i128::from(d.d_max) << p.column;
+        // Cell inputs are internal (non-uniform) signals →
+        // distribution-free mean bracket and rate.
+        env = env.add(&ErrorInterval {
+            lo,
+            hi,
+            mean_lo: lo as f64,
+            mean_hi: hi as f64,
+            mean_abs_hi: lo.unsigned_abs().max(hi.unsigned_abs()) as f64,
+            rate_hi: 1.0,
+        });
+    }
+    env
+}
+
+/// Certified error metrics for a Wallace-tree multiplier at any shipped
+/// width (2..=32). Exact whenever the approximate-cone replay fits the
+/// node budget (`None` ⇒ [`DEFAULT_NODE_BUDGET`]); the certified
+/// per-cell interval otherwise.
+#[must_use]
+pub fn wallace_calculus(m: &WallaceMultiplier, node_budget: Option<usize>) -> CertifiedMetrics {
+    let w = m.width();
+    let budget = node_budget.or(Some(DEFAULT_NODE_BUDGET));
+    let no_deviation = m.approx_columns() == 0
+        || m.cell_placements().iter().all(|p| {
+            let d = cell_deviation(p.kind, p.half_adder);
+            d.d_max == 0 && d.d_min == 0
+        });
+    let exact_max = ((1u128 << w) - 1) * ((1u128 << w) - 1);
+    let (model, raw_max) = if no_deviation {
+        (ErrorModel::zero(), exact_max)
+    } else {
+        match wallace_deviation_pmf(m, budget) {
+            Ok((pmf, raw_max)) => (ErrorModel::Exact(pmf), raw_max),
+            Err(_) => {
+                let env = wallace_interval(m);
+                let raw_max = exact_max.saturating_add(env.hi.max(0).unsigned_abs());
+                (ErrorModel::Interval(env), raw_max)
+            }
+        }
+    };
+    // The reduction drops weight-2^{2w} bits and the CPA drops its
+    // carry-out: together a plain wrap mod 2^{2w}, hazardous only when
+    // the raw value can pass the ceiling.
+    let wrapped = model.wrap_truncated(2 * w as u32, raw_max);
+    CertifiedMetrics { name: m.name(), width: w, model: wrapped }
+}
+
+// ---------------------------------------------------------------------
+// Truncated
+// ---------------------------------------------------------------------
+
+/// Number of partial products in column `c` of a `w × w` array.
+fn column_population(c: usize, w: usize) -> u128 {
+    (c + 1).min(w).min(2 * w - 1 - c) as u128
+}
+
+/// The exact PMF of `comp − D(a, b)` by model counting over the low
+/// `2·min(dropped, w)` operand bits.
+fn truncated_error_pmf(m: &TruncatedMultiplier) -> ErrorPmf {
+    let w = m.width();
+    let dropped = m.dropped_columns();
+    let k = dropped.min(w);
+    let mut bdd = Bdd::new();
+    let (av, bv) = interleaved_operand_vars(&mut bdd, k);
+
+    let acc_width = dropped + 8;
+    let mut acc = vec![FALSE; acc_width];
+    for (i, &a_bit) in av.iter().enumerate() {
+        for (j, &b_bit) in bv.iter().enumerate() {
+            if i + j < dropped {
+                let pp = bdd.and(a_bit, b_bit);
+                ripple_into(&mut bdd, &mut acc, i + j, pp);
+            }
+        }
+    }
+    let comp_bits: Vec<Ref> =
+        (0..acc_width).map(|i| Bdd::constant((m.compensation() >> i) & 1 == 1)).collect();
+    let diff = signed_diff(&mut bdd, &comp_bits, &acc);
+    signed_word_pmf(&bdd, &diff, 2 * k)
+}
+
+/// Certified error metrics for a truncated multiplier at any shipped
+/// width (1..=32). Exact whenever `min(dropped, w) ≤ 10` (the error is a
+/// function of only that many low bits per operand, independent of the
+/// operand width); a certified interval with an *exact mean* beyond.
+#[must_use]
+pub fn truncated_calculus(m: &TruncatedMultiplier) -> CertifiedMetrics {
+    let w = m.width();
+    let dropped = m.dropped_columns();
+    let comp = u128::from(m.compensation());
+    let k = dropped.min(w);
+    let model = if dropped == 0 {
+        ErrorModel::zero()
+    } else if k <= 10 {
+        ErrorModel::Exact(truncated_error_pmf(m))
+    } else {
+        let max_dropped: i128 = (0..dropped.min(2 * w - 1))
+            .map(|c| (column_population(c, w) << c) as i128)
+            .sum();
+        let comp_i = comp as i128;
+        // E[D] = Σ pop(c)·2^c / 4 exactly, by linearity — the mean stays
+        // exact even where the full distribution is out of reach.
+        let mean_dropped: f64 = (0..dropped.min(2 * w - 1))
+            .map(|c| column_population(c, w) as f64 * 0.25 * (c as f64).exp2())
+            .sum();
+        let mean = comp_i as f64 - mean_dropped;
+        ErrorModel::Interval(ErrorInterval {
+            lo: comp_i - max_dropped,
+            hi: comp_i,
+            mean_lo: mean,
+            mean_hi: mean,
+            mean_abs_hi: (comp_i - max_dropped).unsigned_abs().max(comp_i.unsigned_abs()) as f64,
+            rate_hi: 1.0,
+        })
+    };
+    let exact_max = ((1u128 << w) - 1) * ((1u128 << w) - 1);
+    let wrapped = model.wrap_truncated(2 * w as u32, exact_max.saturating_add(comp));
+    CertifiedMetrics { name: m.name(), width: w, model: wrapped }
+}
+
+// ---------------------------------------------------------------------
+// Recursive
+// ---------------------------------------------------------------------
+
+fn sum_mode_adder(width: usize, sum: SumMode) -> RippleCarryAdder {
+    match sum {
+        SumMode::Accurate => RippleCarryAdder::accurate(width),
+        SumMode::ApproxLsbs { kind, lsbs } => {
+            RippleCarryAdder::with_approx_lsbs(width, kind, lsbs.min(width))
+                .expect("recursion widths are valid adder widths")
+        }
+    }
+}
+
+/// Distribution-free level fallback (overlapping sub-products): raw level
+/// output below `2^{2w+1}`, exact product below `(2^w − 1)^2`.
+fn trivial_level(w: usize) -> (ErrorModel, u128) {
+    let max_val = (1u128 << (2 * w + 1)) - 1;
+    let over = max_val as i128;
+    let under = (((1u128 << w) - 1) * ((1u128 << w) - 1)) as i128;
+    let model = ErrorModel::Interval(ErrorInterval {
+        lo: -under,
+        hi: over,
+        mean_lo: -under as f64,
+        mean_hi: over as f64,
+        mean_abs_hi: over.max(under) as f64,
+        rate_hi: 1.0,
+    });
+    (model, max_val)
+}
+
+/// One recursion level of the error walk: `(model, max_output_value)` for
+/// a width-`w` sub-multiplier. Mirrors the scalar `mul_rec` composition:
+/// `error = e_ll + 2^w·e_hh + 2^h·(e_lh + e_hl + dev_w) + dev_2w`.
+fn recursive_level_model(w: usize, block: Mul2x2Kind, sum: SumMode) -> (ErrorModel, u128) {
+    if w == 2 {
+        return (ErrorModel::Exact(block_error_pmf(block)), mul2x2_max_value(block));
+    }
+    let h = w / 2;
+    let (sub, m_h) = recursive_level_model(h, block, sum);
+    // The affine decomposition needs every sub-product to fit in w bits
+    // (no OR-overlap at the concatenation, no operand truncation at the
+    // adders) — the same gate as the static layer.
+    if m_h >= 1u128 << w {
+        return trivial_level(w);
+    }
+    let bw = ripple_adder_bound(&sum_mode_adder(w, sum)).distribution_free();
+    let b2w = ripple_adder_bound(&sum_mode_adder(2 * w, sum)).distribution_free();
+
+    // ll/hh and lh/hl sit on disjoint operand digit fields → their PMFs
+    // convolve exactly. The two groups share digits → dependent-interval
+    // combine, whose mean bracket stays exact by linearity.
+    let outer = sub.add_independent(&sub.shifted(w as u32));
+    let mut mid = sub.add_independent(&sub);
+    if !bw.is_exact() {
+        // The mid adder sits on non-uniform sub-products →
+        // distribution-free deviation term.
+        mid = mid.add_dependent(&ErrorModel::Interval(ErrorInterval::from_bound(&bw)));
+    }
+    let mut total = outer.add_dependent(&mid.shifted(h as u32));
+    if !b2w.is_exact() {
+        total = total.add_dependent(&ErrorModel::Interval(ErrorInterval::from_bound(&b2w)));
+    }
+
+    let mid_max = ((1u128 << (w + 1)) - 1).min(2 * m_h + bw.over);
+    let max_val = ((1u128 << (2 * w + 1)) - 1)
+        .min(m_h * (1 + (1u128 << w)) + (mid_max << h) + b2w.over);
+    (total, max_val)
+}
+
+/// Certified error metrics for a recursively composed multiplier at any
+/// shipped width (2..=32): exact 2×2 leaf PMFs pushed through the
+/// recursion with exact convolution where operand cones are disjoint and
+/// certified intervals (exact means under linearity) where they overlap.
+#[must_use]
+pub fn recursive_calculus(m: &RecursiveMultiplier) -> CertifiedMetrics {
+    let w = m.width();
+    let (model, max_val) = recursive_level_model(w, m.block(), m.sum_mode());
+    let wrapped = model.wrap_truncated(2 * w as u32, max_val);
+    CertifiedMetrics { name: m.name(), width: w, model: wrapped }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+    use xlac_adders::FullAdderKind;
+
+    /// Exhaustive signed-error histogram of `m` against `a·b`.
+    fn enumerate_errors(m: &dyn Multiplier) -> HashMap<i128, u128> {
+        let w = m.width();
+        let mut hist = HashMap::new();
+        for a in 0..1u64 << w {
+            for b in 0..1u64 << w {
+                let e = m.mul(a, b) as i128 - (a * b) as i128;
+                *hist.entry(e).or_insert(0u128) += 1;
+            }
+        }
+        hist
+    }
+
+    fn assert_pmf_matches(metrics: &CertifiedMetrics, m: &dyn Multiplier) {
+        let pmf = metrics.model.pmf().unwrap_or_else(|| {
+            panic!("{}: calculus should be exact at this width", metrics.name)
+        });
+        let hist = enumerate_errors(m);
+        let scale = 2 * m.width() as u32 - pmf.denom_bits();
+        for (&v, &c) in &hist {
+            assert_eq!(
+                pmf.count_of(v) << scale,
+                c,
+                "{}: P[e = {v}] mismatch",
+                metrics.name
+            );
+        }
+        let support: u128 = pmf.support().iter().map(|&(_, c)| c).sum();
+        assert_eq!(support, 1u128 << pmf.denom_bits());
+        assert_eq!(pmf.support().len(), hist.len(), "{}: support size", metrics.name);
+    }
+
+    fn assert_interval_sound(metrics: &CertifiedMetrics, m: &dyn Multiplier) {
+        let env = metrics.model.interval();
+        let hist = enumerate_errors(m);
+        let total: u128 = hist.values().sum();
+        let mean: f64 = hist.iter().map(|(&v, &c)| v as f64 * c as f64).sum::<f64>()
+            / total as f64;
+        let mean_abs: f64 = hist
+            .iter()
+            .map(|(&v, &c)| v.unsigned_abs() as f64 * c as f64)
+            .sum::<f64>()
+            / total as f64;
+        let rate: f64 =
+            hist.iter().filter(|&(&v, _)| v != 0).map(|(_, &c)| c as f64).sum::<f64>()
+                / total as f64;
+        for &v in hist.keys() {
+            assert!(env.lo <= v && v <= env.hi, "{}: error {v} outside envelope", metrics.name);
+        }
+        assert!(
+            env.mean_lo <= mean + 1e-9 && mean <= env.mean_hi + 1e-9,
+            "{}: mean {mean} outside [{}, {}]",
+            metrics.name,
+            env.mean_lo,
+            env.mean_hi
+        );
+        assert!(mean_abs <= env.mean_abs_hi + 1e-9, "{}: mean_abs", metrics.name);
+        assert!(rate <= env.rate_hi + 1e-9, "{}: rate", metrics.name);
+    }
+
+    #[test]
+    fn block_pmfs_match_enumeration() {
+        for block in Mul2x2Kind::ALL {
+            let pmf = block_error_pmf(block);
+            let mut hist: HashMap<i128, u128> = HashMap::new();
+            for a in 0..4u64 {
+                for b in 0..4u64 {
+                    *hist.entry(block.mul(a, b) as i128 - (a * b) as i128).or_insert(0) += 1;
+                }
+            }
+            assert_eq!(pmf.denom_bits(), 4);
+            for (&v, &c) in &hist {
+                assert_eq!(pmf.count_of(v), c, "{block:?} P[e = {v}]");
+            }
+        }
+    }
+
+    #[test]
+    fn wallace_calculus_is_exact_at_small_widths() {
+        for (w, kind, cols) in [
+            (4, FullAdderKind::Apx2, 4),
+            (4, FullAdderKind::Apx5, 6),
+            (8, FullAdderKind::Apx2, 4),
+            (8, FullAdderKind::Apx4, 8),
+            (8, FullAdderKind::Apx5, 8),
+        ] {
+            let m = WallaceMultiplier::new(w, kind, cols).unwrap();
+            let metrics = wallace_calculus(&m, None);
+            assert_pmf_matches(&metrics, &m);
+        }
+    }
+
+    #[test]
+    fn wallace_calculus_handles_the_accurate_tree() {
+        let m = WallaceMultiplier::new(8, FullAdderKind::Accurate, 0).unwrap();
+        let metrics = wallace_calculus(&m, None);
+        assert_eq!(metrics.exact_wce(), Some(0));
+        assert_eq!(metrics.er_hi(), 0.0);
+    }
+
+    #[test]
+    fn wallace_budget_fallback_stays_sound() {
+        let m = WallaceMultiplier::new(4, FullAdderKind::Apx5, 6).unwrap();
+        // A 1-node budget forces the per-cell interval path.
+        let metrics = wallace_calculus(&m, Some(1));
+        assert!(!metrics.is_exact_distribution());
+        assert_interval_sound(&metrics, &m);
+        // The exact path must sit inside the fallback envelope.
+        let exact = wallace_calculus(&m, None);
+        assert!(exact.wce_hi() <= metrics.wce_hi());
+    }
+
+    #[test]
+    fn truncated_calculus_is_exact_and_matches_enumeration() {
+        for (w, dropped, comp) in
+            [(4, 2, false), (8, 4, true), (8, 6, true), (8, 6, false)]
+        {
+            let m = TruncatedMultiplier::new(w, dropped, comp).unwrap();
+            let metrics = truncated_calculus(&m);
+            assert_pmf_matches(&metrics, &m);
+        }
+    }
+
+    #[test]
+    fn truncated_calculus_is_exact_at_full_width() {
+        // The 32×32 truncated multiplier's error depends only on the low
+        // dropped-columns bits: the calculus proves the exact PMF where
+        // enumeration (2^64 pairs) and the monolithic miter (64 vars)
+        // are both unreachable.
+        let m = TruncatedMultiplier::new(32, 6, true).unwrap();
+        let metrics = truncated_calculus(&m);
+        assert!(metrics.is_exact_distribution());
+        let pmf = metrics.model.pmf().unwrap();
+        assert_eq!(pmf.denom_bits(), 12);
+        // Spot-check against the scalar model on the error-relevant cone.
+        let mut worst = 0u128;
+        for a in 0..64u64 {
+            for b in 0..64u64 {
+                let e = (m.mul(a, b) as i128 - (a * b) as i128).unsigned_abs();
+                worst = worst.max(e);
+            }
+        }
+        assert_eq!(metrics.exact_wce(), Some(worst));
+    }
+
+    #[test]
+    fn recursive_calculus_is_sound_at_small_widths() {
+        let configs = [
+            (Mul2x2Kind::ApxSoA, SumMode::Accurate),
+            (Mul2x2Kind::ApxOur, SumMode::Accurate),
+            (
+                Mul2x2Kind::ApxOur,
+                SumMode::ApproxLsbs { kind: FullAdderKind::Apx3, lsbs: 4 },
+            ),
+        ];
+        for (block, sum) in configs {
+            for w in [4usize, 8] {
+                let m = RecursiveMultiplier::new(w, block, sum).unwrap();
+                let metrics = recursive_calculus(&m);
+                assert_interval_sound(&metrics, &m);
+            }
+        }
+    }
+
+    #[test]
+    fn recursive_leaf_is_the_exact_block_pmf() {
+        let m = RecursiveMultiplier::new(2, Mul2x2Kind::ApxSoA, SumMode::Accurate).unwrap();
+        let metrics = recursive_calculus(&m);
+        assert_pmf_matches(&metrics, &m);
+    }
+
+    #[test]
+    fn recursive_mean_is_exact_with_accurate_sums() {
+        // With accurate internal adders every interval term vanishes, so
+        // the mean bracket closes to the exact value by linearity.
+        let m = RecursiveMultiplier::new(8, Mul2x2Kind::ApxSoA, SumMode::Accurate).unwrap();
+        let metrics = recursive_calculus(&m);
+        let env = metrics.model.interval();
+        assert!(
+            (env.mean_hi - env.mean_lo).abs() < 1e-9,
+            "mean bracket should be closed: [{}, {}]",
+            env.mean_lo,
+            env.mean_hi
+        );
+        let hist = enumerate_errors(&m);
+        let total: u128 = hist.values().sum();
+        let mean: f64 =
+            hist.iter().map(|(&v, &c)| v as f64 * c as f64).sum::<f64>() / total as f64;
+        assert!((mean - env.mean_lo).abs() < 1e-6, "exact mean {mean} vs {}", env.mean_lo);
+    }
+
+    #[test]
+    fn wide_widths_get_certified_models() {
+        // 16×16 and 32×32: previously impossible, now certified.
+        for w in [16usize, 32] {
+            let wal = WallaceMultiplier::new(w, FullAdderKind::Apx2, 8).unwrap();
+            let metrics = wallace_calculus(&wal, None);
+            assert!(metrics.is_exact_distribution(), "Wallace {w}×{w} exact");
+            assert!(metrics.wce_hi() > 0);
+
+            let rec = RecursiveMultiplier::new(
+                w,
+                Mul2x2Kind::ApxOur,
+                SumMode::ApproxLsbs { kind: FullAdderKind::Apx1, lsbs: 2 },
+            )
+            .unwrap();
+            let metrics = recursive_calculus(&rec);
+            assert!(metrics.wce_hi() > 0);
+            assert!(metrics.er_hi() <= 1.0);
+        }
+    }
+
+    #[test]
+    fn calculus_wce_matches_the_monolithic_miter_at_paper_width() {
+        // Cross-validation: the compositional Wallace PMF's worst case
+        // equals the monolithic miter's proven WCE.
+        use crate::symbolic::metrics::exact_metrics;
+        let m = WallaceMultiplier::new(8, FullAdderKind::Apx2, 8).unwrap();
+        let calculus = wallace_calculus(&m, None);
+        let mut bdd = Bdd::new();
+        let (a, b) = interleaved_operand_vars(&mut bdd, 8);
+        let approx = twins::wallace_multiplier(&mut bdd, &m, &a, &b);
+        let exact = twins::mul_exact(&mut bdd, &a, &b);
+        let monolithic = exact_metrics(&mut bdd, &approx, &exact, 16);
+        assert_eq!(calculus.exact_wce(), Some(monolithic.worst_case_error));
+    }
+}

@@ -18,7 +18,7 @@
 //! use xlac_sim::CompiledProgram;
 //!
 //! # fn main() -> Result<(), xlac_core::XlacError> {
-//! let nl = ripple_netlist(&RippleCarryAdder::accurate(4)?);
+//! let nl = ripple_netlist(&RippleCarryAdder::accurate(4));
 //! let prog = CompiledProgram::compile(&nl);
 //! let mut bdd = Bdd::new();
 //! let inputs: Vec<_> = (0..nl.n_inputs()).map(|i| bdd.var(i)).collect();

@@ -34,17 +34,26 @@
 
 pub mod audit;
 pub mod bdd;
+pub mod calculus;
 pub mod compile;
 pub mod equiv;
 pub mod jitproof;
 pub mod metrics;
+pub mod pmf;
 pub mod registry;
 pub mod twins;
 
 pub use audit::{audit_bounds, audits_to_json, BoundAudit};
-pub use bdd::{Bdd, BddStats, Ref, FALSE, TRUE};
+pub use calculus::{
+    block_error_pmf, recursive_calculus, truncated_calculus, wallace_calculus, CertifiedMetrics,
+    DEFAULT_NODE_BUDGET,
+};
+pub use bdd::{Bdd, BddBudgetExceeded, BddStats, Ref, SiftOptions, SiftStats, FALSE, TRUE};
 pub use compile::{
     apply_gate, compile_netlist, compile_raw, compile_truth_table, interleaved_operand_vars,
 };
 pub use equiv::{prove_outputs_equal, Counterexample, Verdict};
 pub use metrics::{exact_metrics, ExactMetrics};
+pub use pmf::{
+    signed_word_pmf, unsigned_word_pmf, ErrorInterval, ErrorModel, ErrorPmf, PmfOverflow,
+};

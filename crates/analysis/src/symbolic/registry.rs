@@ -534,9 +534,24 @@ fn composed_multiplier_reports() -> Vec<ProofReport> {
 /// since the JIT consumes `Netlist` values, not Verilog.
 #[must_use]
 pub fn jit_equivalence_reports() -> Vec<ProofReport> {
+    jit_equivalence_sweep().0
+}
+
+/// The JIT sweep with the shared manager's final statistics exposed.
+///
+/// One BDD manager serves every obligation in the sweep; between
+/// obligations the manager is garbage-collected with no roots, which
+/// sweeps the unique table and drops the ITE memo. Proof roots never
+/// outlive their obligation, so the peak live-node count is the
+/// *largest single obligation*, not the sum over the registry — the
+/// regression test pins that invariant so a leaked root or a skipped
+/// sweep shows up as a peak-node jump.
+#[must_use]
+pub fn jit_equivalence_sweep() -> (Vec<ProofReport>, super::bdd::BddStats) {
     let _span = obs_span!("analysis.jit_equivalence");
     use xlac_multipliers::hw::wallace_netlist;
     let mut reports = Vec::new();
+    let mut bdd = Bdd::new();
 
     // 1-bit cells: plain variable order.
     let mut cells: Vec<(String, xlac_logic::Netlist)> = Vec::new();
@@ -552,9 +567,9 @@ pub fn jit_equivalence_reports() -> Vec<ProofReport> {
         cells.push((cfg.name(), cfg.netlist()));
     }
     for (name, nl) in cells {
-        let mut bdd = Bdd::new();
         let vars: Vec<Ref> = (0..nl.n_inputs()).map(|i| bdd.var(i)).collect();
         reports.push(jit_report(&mut bdd, name, &nl, &vars));
+        bdd.gc(&[]);
     }
 
     // Multi-bit datapaths: interleaved operand order keeps the adder and
@@ -580,12 +595,12 @@ pub fn jit_equivalence_reports() -> Vec<ProofReport> {
         datapaths.push((sub.name(), xlac_adders::hw::subtractor_netlist(&sub), 8));
     }
     for (name, nl, width) in datapaths {
-        let mut bdd = Bdd::new();
         let (a, b) = interleaved_operand_vars(&mut bdd, width);
         let ports: Vec<Ref> = a.iter().chain(&b).copied().collect();
         reports.push(jit_report(&mut bdd, name, &nl, &ports));
+        bdd.gc(&[]);
     }
-    reports
+    (reports, bdd.stats())
 }
 
 fn jit_report(bdd: &mut Bdd, name: String, nl: &xlac_logic::Netlist, ports: &[Ref]) -> ProofReport {
@@ -643,6 +658,24 @@ mod tests {
             assert!(r.is_proven(), "{}: {:?}", r.name, r.status);
             assert_eq!(r.method, "bdd-jit");
         }
+    }
+
+    #[test]
+    fn shared_manager_sweep_keeps_the_peak_bounded() {
+        let (reports, stats) = jit_equivalence_sweep();
+        assert!(reports.iter().all(ProofReport::is_proven));
+        // One gc per obligation: the memo and unique table are swept
+        // between proofs, so the high-water mark is the largest single
+        // obligation (~322k live nodes for the widest datapath compile),
+        // not the registry sum (well over a million).
+        assert!(stats.gc_runs >= reports.len() as u64, "a between-obligation sweep was skipped");
+        assert!(stats.freed_nodes > 0);
+        assert_eq!(stats.live_nodes, 0, "a proof root leaked past its obligation");
+        assert!(
+            stats.peak_live_nodes < 400_000,
+            "peak live nodes regressed: {} (one obligation leaked into the next?)",
+            stats.peak_live_nodes
+        );
     }
 
     #[test]

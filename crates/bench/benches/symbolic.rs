@@ -18,9 +18,14 @@
 
 use xlac_adders::{Adder, FullAdderKind, GeArAdder, RippleCarryAdder};
 use xlac_analysis::symbolic::compile::interleaved_operand_vars;
-use xlac_analysis::symbolic::{exact_metrics, twins, Bdd, ExactMetrics, FALSE};
+use xlac_analysis::symbolic::{
+    exact_metrics, recursive_calculus, truncated_calculus, twins, wallace_calculus, Bdd,
+    ExactMetrics, SiftOptions, FALSE,
+};
 use xlac_bench::{black_box, Harness};
-use xlac_multipliers::{Multiplier, WallaceMultiplier};
+use xlac_multipliers::{
+    Mul2x2Kind, Multiplier, RecursiveMultiplier, SumMode, TruncatedMultiplier, WallaceMultiplier,
+};
 
 /// The brute-force reference: worst-case error, error count and total
 /// error distance of `approx` against `exact` over all `2^(2w)` pairs.
@@ -166,9 +171,53 @@ fn report_engine_stats() {
     }
 }
 
+/// The compositional calculus at widths where the monolithic miter is
+/// impossible: each bench produces a *certified* worst-case error. The
+/// 16×16 Wallace workload carries a wall-clock ceiling enforced by
+/// `symbolic_gate`.
+fn bench_calculus() {
+    let w16 = WallaceMultiplier::new(16, FullAdderKind::Apx2, 8).expect("valid Wallace config");
+    let t32 = TruncatedMultiplier::new(32, 6, true).expect("valid truncated config");
+    let r32 = RecursiveMultiplier::new(32, Mul2x2Kind::ApxOur, SumMode::Accurate)
+        .expect("valid recursive config");
+
+    let mut h = Harness::group("symbolic_calculus");
+    h.bench("wallace16x16_apx2_cols8", || black_box(wallace_calculus(&w16, None).wce_hi()));
+    h.bench("truncated32x32_d6_comp", || black_box(truncated_calculus(&t32).wce_hi()));
+    h.bench("recursive32x32_apxour", || black_box(recursive_calculus(&r32).wce_hi()));
+}
+
+/// Sifting on the Wallace 8×8 miter, built in a pessimal *middle-out*
+/// operand order (the most significant interactions land at the outer
+/// levels, the reverse of what a product function wants). Rudell
+/// sifting must recover at least a 2× reduction from it and land under
+/// 200k nodes — both enforced by `symbolic_gate` on the emitted JSON
+/// line. The run is fully deterministic, so the floors are stable.
+fn report_sift_stats() {
+    const A_ORDER: [usize; 8] = [7, 8, 6, 9, 5, 10, 4, 11];
+    const B_ORDER: [usize; 8] = [3, 12, 2, 13, 1, 14, 0, 15];
+    let m = WallaceMultiplier::new(8, FullAdderKind::Apx4, 8).expect("valid Wallace config");
+    let mut bdd = Bdd::new();
+    let a: Vec<_> = A_ORDER.iter().map(|&v| bdd.var(v)).collect::<Vec<_>>();
+    let b: Vec<_> = B_ORDER.iter().map(|&v| bdd.var(v)).collect::<Vec<_>>();
+    let mut roots = twins::wallace_multiplier(&mut bdd, &m, &a, &b);
+    roots.extend(twins::mul_exact(&mut bdd, &a, &b));
+    let stats = bdd.sift(&roots, &SiftOptions::default());
+    println!(
+        "{{\"name\":\"symbolic_sift/wallace8x8_miter\",\"unsifted_nodes\":{},\"sifted_nodes\":{},\"reduction\":{:.2},\"rounds\":{},\"swaps\":{}}}",
+        stats.initial_nodes,
+        stats.final_nodes,
+        stats.initial_nodes as f64 / stats.final_nodes.max(1) as f64,
+        stats.rounds,
+        stats.swaps
+    );
+}
+
 fn main() {
     bench_multiplier_metrics();
     bench_adder_metrics();
     bench_equivalence_proof();
+    bench_calculus();
     report_engine_stats();
+    report_sift_stats();
 }

@@ -39,7 +39,12 @@
 
 use xlac_adders::FullAdderKind;
 use xlac_analysis::bound::ErrorBound;
-use xlac_analysis::components::{recursive_multiplier_bound, truncated_bound, wallace_bound};
+use xlac_analysis::components::{
+    certified_wallace_bound, recursive_multiplier_bound, truncated_bound,
+};
+use xlac_analysis::symbolic::calculus::{
+    recursive_calculus, truncated_calculus, wallace_calculus, CertifiedMetrics,
+};
 use xlac_analysis::symbolic::compile::interleaved_operand_vars;
 use xlac_analysis::symbolic::{exact_metrics, twins, Bdd};
 use xlac_core::characterization::HwCost;
@@ -82,15 +87,32 @@ impl MulConfig {
     fn bound(&self) -> ErrorBound {
         match self {
             MulConfig::Recursive(m) => recursive_multiplier_bound(m),
-            MulConfig::Wallace(m) => wallace_bound(m),
+            MulConfig::Wallace(m) => certified_wallace_bound(m),
             MulConfig::Truncated(m) => truncated_bound(m),
         }
     }
 
-    /// The *provable* worst-case error from the symbolic engine, where
-    /// the operand width keeps the BDD tractable (the same `2w ≤ 16`
-    /// cutoff as the exhaustive quality path). `None` beyond it.
-    fn exact_wce(&self) -> Option<u128> {
+    /// The compositional error calculus' certified metrics: the exact
+    /// error PMF where the family's structure permits (Wallace and
+    /// truncated at every shipped width, recursive leaves), a sound
+    /// interval otherwise. Available at *any* width.
+    fn certified(&self) -> CertifiedMetrics {
+        match self {
+            MulConfig::Recursive(m) => recursive_calculus(m),
+            MulConfig::Wallace(m) => wallace_calculus(m, None),
+            MulConfig::Truncated(m) => truncated_calculus(m),
+        }
+    }
+
+    /// The *provable* worst-case error: from the compositional calculus
+    /// whenever it certifies the exact distribution (any width), else
+    /// from the monolithic symbolic miter where the operand width keeps
+    /// the BDD tractable (the same `2w ≤ 16` cutoff as the exhaustive
+    /// quality path). `None` beyond both.
+    fn exact_wce(&self, certified: &CertifiedMetrics) -> Option<u128> {
+        if let Some(wce) = certified.exact_wce() {
+            return Some(wce);
+        }
         let w = self.as_multiplier().width();
         if 2 * w > 16 {
             return None;
@@ -214,10 +236,15 @@ pub struct StaticPoint {
     /// Static worst-case error bound (sound ceiling on any observed
     /// error).
     pub wce_bound: u128,
-    /// The *exact* worst-case error proven by the symbolic BDD engine,
-    /// where the width permits (`2w ≤ 16`); `None` beyond that, where
-    /// only the static bound is available.
+    /// The *exact* worst-case error: proven by the compositional error
+    /// calculus wherever it certifies the full distribution (Wallace and
+    /// truncated configurations at every shipped width, 16×16 and 32×32
+    /// included), or by the monolithic symbolic miter at `2w ≤ 16`.
+    /// `None` only where neither applies (wide recursive designs).
     pub wce_exact: Option<u128>,
+    /// The calculus' certified worst-case ceiling — sound at every
+    /// width, and equal to `wce_exact` where that is present.
+    pub wce_certified: u128,
     /// Static bound on the mean absolute error under uniform inputs.
     pub mean_bound: f64,
     /// Hardware cost.
@@ -225,12 +252,13 @@ pub struct StaticPoint {
 }
 
 impl StaticPoint {
-    /// The sharpest available error ceiling: the proven exact WCE when
-    /// the symbolic engine reached this width, the static bound
-    /// otherwise. Always sound, so pruning on it is safe.
+    /// The sharpest available error ceiling: the proven exact WCE where
+    /// one exists, otherwise the tighter of the static bound and the
+    /// calculus' certified interval ceiling. Always sound, so pruning on
+    /// it is safe — at *every* width, not just the exhaustive ones.
     #[must_use]
     pub fn wce_ceiling(&self) -> u128 {
-        self.wce_exact.unwrap_or(self.wce_bound)
+        self.wce_exact.unwrap_or_else(|| self.wce_bound.min(self.wce_certified))
     }
 }
 
@@ -284,10 +312,12 @@ pub fn enumerate_multiplier_space_prefiltered(
         .iter()
         .map(|config| {
             let bound = config.bound();
+            let certified = config.certified();
             StaticPoint {
                 name: config.as_multiplier().name(),
                 wce_bound: bound.wce(),
-                wce_exact: config.exact_wce(),
+                wce_exact: config.exact_wce(&certified),
+                wce_certified: certified.wce_hi(),
                 mean_bound: bound.mean_abs,
                 cost: config.as_multiplier().hw_cost(),
             }
@@ -334,7 +364,7 @@ mod tests {
         // RNG discipline guarantees stats identical to the behavioural
         // bit-sliced sweep.
         let m = WallaceMultiplier::new(16, FullAdderKind::Apx2, 6).unwrap();
-        let config = MulConfig::Wallace(m.clone());
+        let config = MulConfig::Wallace(m);
         let samples = 4_096;
         assert_eq!(
             quality(&config, samples),
@@ -447,11 +477,38 @@ mod tests {
     }
 
     #[test]
-    fn sixteen_bit_space_has_no_exact_wce() {
-        let pre = enumerate_multiplier_space_prefiltered(16, 2_000).unwrap();
-        for pt in &pre.pruned {
-            assert!(pt.wce_exact.is_none(), "{}: 32-input BDD not attempted", pt.name);
-            assert_eq!(pt.wce_ceiling(), pt.wce_bound);
+    fn wide_spaces_prune_on_certified_wce() {
+        // 16×16 and 32×32 are far beyond the monolithic miter (32/64
+        // input bits), yet the compositional calculus certifies every
+        // configuration: exact distributions for the Wallace and
+        // truncated families, sound intervals for the recursive one —
+        // so static pruning runs on proven numbers at wide widths too.
+        for width in [16usize, 32] {
+            let pre = enumerate_multiplier_space_prefiltered(width, 500).unwrap();
+            assert!(!pre.pruned.is_empty(), "width {width}: pruning must bite");
+            for pt in &pre.pruned {
+                assert!(pt.wce_ceiling() <= pt.wce_bound, "{}", pt.name);
+                if pt.name.starts_with("Wallace") || pt.name.starts_with("TruncMul") {
+                    assert!(
+                        pt.wce_exact.is_some(),
+                        "{}: calculus must certify the exact distribution",
+                        pt.name
+                    );
+                }
+            }
+            // The certified ceilings genuinely sharpen the frontier:
+            // `wce_bound` for Wallace points already *is* the
+            // calculus-tightened `certified_wallace_bound`, so measure
+            // the gain against the raw structural bound instead.
+            let m = WallaceMultiplier::new(width, FullAdderKind::Apx2, 8).unwrap();
+            let structural = xlac_analysis::components::wallace_bound(&m).wce();
+            let certified = wallace_calculus(&m, None)
+                .exact_wce()
+                .expect("Wallace cone is exact at every shipped width");
+            assert!(
+                certified < structural,
+                "width {width}: certified {certified} should beat the structural {structural}"
+            );
         }
     }
 

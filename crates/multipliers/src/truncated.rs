@@ -47,12 +47,12 @@ impl TruncatedMultiplier {
     ///
     /// # Errors
     ///
-    /// Returns [`XlacError::InvalidWidth`] for widths outside `1..=16` or
+    /// Returns [`XlacError::InvalidWidth`] for widths outside `1..=32` or
     /// [`XlacError::InvalidConfiguration`] when `dropped` reaches the full
     /// `2·width` column count.
     pub fn new(width: usize, dropped: usize, compensated: bool) -> Result<Self> {
-        if !(1..=16).contains(&width) {
-            return Err(XlacError::InvalidWidth { width, max: 16 });
+        if !(1..=32).contains(&width) {
+            return Err(XlacError::InvalidWidth { width, max: 32 });
         }
         if dropped >= 2 * width {
             return Err(XlacError::InvalidConfiguration(format!(
@@ -160,7 +160,9 @@ impl Multiplier for TruncatedMultiplier {
                 }
             }
         }
-        bits::truncate(acc + self.compensation(), 2 * self.width)
+        // At width 32 the retained mass spans all 64 bits; the wrapping
+        // add is exactly the mod-2^{2w} truncation semantics.
+        bits::truncate(acc.wrapping_add(self.compensation()), 2 * self.width)
     }
 
     fn name(&self) -> String {
@@ -266,8 +268,14 @@ mod tests {
     #[test]
     fn validation() {
         assert!(TruncatedMultiplier::new(0, 0, false).is_err());
-        assert!(TruncatedMultiplier::new(17, 0, false).is_err());
+        assert!(TruncatedMultiplier::new(33, 0, false).is_err());
         assert!(TruncatedMultiplier::new(8, 16, false).is_err());
+        // Widths 17..=32 are now valid (the error calculus certifies
+        // them); spot-check exactness at the 32-bit ceiling.
+        let wide = TruncatedMultiplier::new(32, 0, false).unwrap();
+        for (a, b) in [(u32::MAX as u64, u32::MAX as u64), (0xDEAD_BEEF, 0x1234_5678)] {
+            assert_eq!(wide.mul(a, b), a.wrapping_mul(b));
+        }
     }
 
     #[test]

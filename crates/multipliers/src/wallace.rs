@@ -60,12 +60,12 @@ impl WallaceMultiplier {
     ///
     /// # Errors
     ///
-    /// Returns [`XlacError::InvalidWidth`] when `width` is outside `2..=16`
+    /// Returns [`XlacError::InvalidWidth`] when `width` is outside `2..=32`
     /// or [`XlacError::InvalidConfiguration`] when `approx_cols` exceeds
     /// the `2·width` product columns.
     pub fn new(width: usize, kind: FullAdderKind, approx_cols: usize) -> Result<Self> {
-        if !(2..=16).contains(&width) {
-            return Err(XlacError::InvalidWidth { width, max: 16 });
+        if !(2..=32).contains(&width) {
+            return Err(XlacError::InvalidWidth { width, max: 32 });
         }
         if approx_cols > 2 * width {
             return Err(XlacError::InvalidConfiguration(format!(
@@ -190,7 +190,9 @@ impl WallaceMultiplier {
                 row1 |= b1 << c;
             }
         }
-        let product = bits::truncate(row0 + row1, cols);
+        // At width 32 the two rows span all 64 bits, so their sum can
+        // carry past u64; the wrap is exactly the mod-2^{2w} truncation.
+        let product = bits::truncate(row0.wrapping_add(row1), cols);
         (product, fa, ha)
     }
 
@@ -360,8 +362,14 @@ mod tests {
     #[test]
     fn validation() {
         assert!(WallaceMultiplier::new(1, FullAdderKind::Accurate, 0).is_err());
-        assert!(WallaceMultiplier::new(17, FullAdderKind::Accurate, 0).is_err());
+        assert!(WallaceMultiplier::new(33, FullAdderKind::Accurate, 0).is_err());
         assert!(WallaceMultiplier::new(8, FullAdderKind::Accurate, 17).is_err());
+        // Widths 17..=32 are now valid (the error calculus certifies
+        // them); spot-check correctness at the 32-bit ceiling.
+        let wide = WallaceMultiplier::new(32, FullAdderKind::Accurate, 0).unwrap();
+        for (a, b) in [(u32::MAX as u64, u32::MAX as u64), (0xDEAD_BEEF, 0x1234_5678)] {
+            assert_eq!(wide.mul(a, b), a.wrapping_mul(b));
+        }
     }
 
     #[test]

@@ -571,14 +571,21 @@ impl CompiledProgram {
             cse_hits: b.cse_hits,
             dead_nodes,
         };
-        CompiledProgram {
+        let program = CompiledProgram {
             name: netlist.name().to_string(),
             n_inputs,
             n_regs,
             ops,
             outputs,
             stats,
-        }
+        };
+        debug_assert!(
+            program.verify().is_empty(),
+            "compiler emitted unverifiable bytecode for {}: {:?}",
+            program.name,
+            program.verify()
+        );
+        program
     }
 
     /// Source netlist name.
@@ -622,6 +629,171 @@ impl CompiledProgram {
     #[must_use]
     pub fn stats(&self) -> JitStats {
         self.stats
+    }
+
+    /// Static bytecode verifier: structural well-formedness checks that
+    /// hold for every correct compilation, independent of the source
+    /// netlist's function. Returns one message per violation (empty =
+    /// verified). [`CompiledProgram::compile`] debug-asserts this, and
+    /// `xlac-lint` runs it over every shipped netlist, so a codegen
+    /// regression surfaces as a structured diagnostic rather than a
+    /// miscomputed plane.
+    ///
+    /// Checked properties:
+    ///
+    /// * every opcode is a valid [`OpKind`] discriminant, with the
+    ///   canonical zero padding in unused operand fields;
+    /// * every register index (op operands, destinations, output reads)
+    ///   is inside the declared register file;
+    /// * no op reads a register before it was written — inputs
+    ///   `0..n_inputs` are pre-seeded, everything else must be defined
+    ///   by an earlier op (the interpreter would silently read zeros);
+    /// * non-constant outputs read initialized registers;
+    /// * [`JitStats`] is consistent with the bytecode: `ops` and
+    ///   `registers` match, and the register file covers the peak
+    ///   number of simultaneously live values without exceeding one
+    ///   fresh slot per op beyond the pinned inputs.
+    #[must_use]
+    pub fn verify(&self) -> Vec<String> {
+        let mut violations = Vec::new();
+        let n_regs = self.n_regs;
+        let mut written = vec![false; n_regs.max(self.n_inputs)];
+        for w in written.iter_mut().take(self.n_inputs) {
+            *w = true;
+        }
+
+        for (i, op) in self.ops.iter().enumerate() {
+            if usize::from(op.kind) >= OP_COUNT {
+                violations.push(format!("op {i}: invalid opcode {}", op.kind));
+                continue;
+            }
+            let kind = match op.kind {
+                0 => OpKind::And,
+                1 => OpKind::Or,
+                2 => OpKind::Xor,
+                3 => OpKind::AndNotA,
+                4 => OpKind::OrNotA,
+                5 => OpKind::Mux,
+                _ => OpKind::Not,
+            };
+            let reads: &[u16] = match kind {
+                OpKind::Not => &[op.a],
+                OpKind::Mux => &[op.a, op.b, op.c],
+                _ => &[op.a, op.b],
+            };
+            if kind != OpKind::Mux && op.c != 0 {
+                violations.push(format!("op {i}: non-mux carries select register {}", op.c));
+            }
+            if kind == OpKind::Not && op.b != 0 {
+                violations.push(format!("op {i}: not carries second operand {}", op.b));
+            }
+            for &r in reads {
+                if usize::from(r) >= n_regs {
+                    violations.push(format!(
+                        "op {i}: reads register {r} outside the {n_regs}-register file"
+                    ));
+                } else if !written[usize::from(r)] {
+                    violations.push(format!("op {i}: reads register {r} before any write"));
+                }
+            }
+            if usize::from(op.dst) >= n_regs {
+                violations.push(format!(
+                    "op {i}: writes register {} outside the {n_regs}-register file",
+                    op.dst
+                ));
+            } else {
+                written[usize::from(op.dst)] = true;
+            }
+        }
+
+        for (k, src) in self.outputs.iter().enumerate() {
+            if let OutSrc::Reg { reg, .. } = *src {
+                if usize::from(reg) >= n_regs {
+                    violations.push(format!(
+                        "output {k}: reads register {reg} outside the {n_regs}-register file"
+                    ));
+                } else if !written[usize::from(reg)] {
+                    violations.push(format!("output {k}: reads register {reg} before any write"));
+                }
+            }
+        }
+
+        // Peak liveness by backward scan: a register is live at a point
+        // when its current value is still read later (outputs live to
+        // the end). Any correct compilation needs at least that many
+        // slots — and at most one fresh slot per op beyond the pinned
+        // inputs, since each op allocates a single destination. (The
+        // file may legitimately exceed the liveness peak: an input that
+        // is never read keeps its pinned register forever.)
+        let mut live = vec![false; n_regs.max(1)];
+        let mut live_count = 0usize;
+        for src in &self.outputs {
+            if let OutSrc::Reg { reg, .. } = *src {
+                let r = usize::from(reg);
+                if r < n_regs && !live[r] {
+                    live[r] = true;
+                    live_count += 1;
+                }
+            }
+        }
+        let mut peak = live_count;
+        for op in self.ops.iter().rev() {
+            if usize::from(op.kind) >= OP_COUNT || usize::from(op.dst) >= n_regs {
+                continue; // already reported above
+            }
+            let d = usize::from(op.dst);
+            if live[d] {
+                live[d] = false;
+                live_count -= 1;
+            }
+            let reads: &[u16] = match op.kind {
+                k if k == OpKind::Not as u8 => &[op.a],
+                k if k == OpKind::Mux as u8 => &[op.a, op.b, op.c],
+                _ => &[op.a, op.b],
+            };
+            for &r in reads {
+                let r = usize::from(r);
+                if r < n_regs && !live[r] {
+                    live[r] = true;
+                    live_count += 1;
+                }
+            }
+            peak = peak.max(live_count);
+        }
+        if violations.is_empty() {
+            let floor = peak.max(self.n_inputs);
+            let ceiling = self.n_inputs + self.ops.len();
+            if self.n_regs < floor {
+                violations.push(format!(
+                    "register file has {} slots but peak liveness is {peak} over {} pinned \
+                     inputs (needs at least {floor})",
+                    self.n_regs, self.n_inputs
+                ));
+            } else if self.n_regs > ceiling {
+                violations.push(format!(
+                    "register file has {} slots but {} inputs plus {} ops can allocate at \
+                     most {ceiling}",
+                    self.n_regs,
+                    self.n_inputs,
+                    self.ops.len()
+                ));
+            }
+        }
+
+        if self.stats.ops != self.ops.len() {
+            violations.push(format!(
+                "stats claim {} ops, bytecode has {}",
+                self.stats.ops,
+                self.ops.len()
+            ));
+        }
+        if self.stats.registers != self.n_regs {
+            violations.push(format!(
+                "stats claim {} registers, program declares {}",
+                self.stats.registers, self.n_regs
+            ));
+        }
+        violations
     }
 
     /// Runs the program on one plane block per input, reusing
@@ -1018,15 +1190,15 @@ mod tests {
         let mut wide = vec![<[u64; 4]>::zeros(); n];
         let mut narrow = vec![vec![0u64; n]; 4];
         for i in 0..n {
-            for k in 0..4 {
+            for (k, lanes) in narrow.iter_mut().enumerate() {
                 let w = rng.next_u64();
                 wide[i].set_word(k, w);
-                narrow[k][i] = w;
+                lanes[i] = w;
             }
         }
         let wide_out = prog.run::<[u64; 4]>(&wide);
-        for k in 0..4 {
-            let narrow_out = prog.run::<u64>(&narrow[k]);
+        for (k, lanes) in narrow.iter().enumerate() {
+            let narrow_out = prog.run::<u64>(lanes);
             for (o, w) in narrow_out.iter().zip(&wide_out) {
                 assert_eq!(*o, w.word(k), "word {k}");
             }
@@ -1039,9 +1211,9 @@ mod tests {
         let prog = CompiledProgram::compile(&ripple_netlist(&rca));
         let mut regs = Vec::new();
         let mut outs = Vec::new();
-        prog.run_into(&vec![0u64; 8], &mut regs, &mut outs);
+        prog.run_into(&[0u64; 8], &mut regs, &mut outs);
         let cap = (regs.capacity(), outs.capacity());
-        prog.run_into(&vec![u64::MAX; 8], &mut regs, &mut outs);
+        prog.run_into(&[u64::MAX; 8], &mut regs, &mut outs);
         assert_eq!((regs.capacity(), outs.capacity()), cap);
         assert_eq!(outs.len(), prog.n_outputs());
     }
@@ -1070,5 +1242,71 @@ mod tests {
         b.output(g);
         let nl = b.finish().unwrap();
         assert!(CompiledMultiplier::new(&nl, 2, "bad", HwCost::ZERO).is_err());
+    }
+
+    #[test]
+    fn compiled_programs_pass_the_static_verifier() {
+        let rca = RippleCarryAdder::with_approx_lsbs(8, FullAdderKind::Apx2, 3).unwrap();
+        let nl = ripple_netlist(&rca);
+        let prog = CompiledProgram::compile(&nl);
+        assert!(prog.verify().is_empty(), "{:?}", prog.verify());
+
+        let mut b = NetlistBuilder::new("mux", 3);
+        let m = b.gate(
+            GateKind::Mux2,
+            &[Signal::Input(0), Signal::Input(1), Signal::Input(2)],
+        );
+        b.output(m);
+        let mux = CompiledProgram::compile(&b.finish().unwrap());
+        assert!(mux.verify().is_empty(), "{:?}", mux.verify());
+    }
+
+    fn corruptible() -> CompiledProgram {
+        let mut b = NetlistBuilder::new("victim", 2);
+        let (x, y) = (b.input(0), b.input(1));
+        let s = b.gate(GateKind::Xor2, &[x, y]);
+        let c = b.gate(GateKind::And2, &[x, y]);
+        b.output(s);
+        b.output(c);
+        CompiledProgram::compile(&b.finish().unwrap())
+    }
+
+    #[test]
+    fn verifier_rejects_corrupted_bytecode() {
+        // Each corruption hits a distinct violation class.
+        let base = corruptible();
+        assert!(base.verify().is_empty());
+
+        let mut p = base.clone();
+        p.ops[0].kind = OP_COUNT as u8;
+        assert!(p.verify().iter().any(|v| v.contains("invalid opcode")));
+
+        let mut p = base.clone();
+        p.ops[0].a = p.n_regs as u16;
+        assert!(p.verify().iter().any(|v| v.contains("outside the")));
+
+        let mut p = base.clone();
+        let fresh = p.n_regs as u16;
+        p.n_regs += 1;
+        p.stats.registers += 1;
+        p.ops[0].a = fresh;
+        assert!(p.verify().iter().any(|v| v.contains("before any write")));
+
+        let mut p = base.clone();
+        p.outputs[0] = OutSrc::Reg { reg: p.n_regs as u16, invert: false };
+        assert!(p.verify().iter().any(|v| v.starts_with("output 0")));
+
+        let mut p = base.clone();
+        p.n_regs += 10;
+        p.stats.registers += 10;
+        assert!(p.verify().iter().any(|v| v.contains("can allocate at most")));
+
+        let mut p = base.clone();
+        p.stats.ops += 1;
+        assert!(p.verify().iter().any(|v| v.contains("stats claim")));
+
+        let mut p = base.clone();
+        p.stats.registers += 1;
+        assert!(!p.verify().is_empty());
     }
 }

@@ -21,6 +21,9 @@ use xlac_logic::Netlist;
 use xlac_multipliers::{Multiplier, MultiplierX64};
 use xlac_obs::{obs_count, obs_gauge, obs_span};
 
+/// One 64-lane batch of reference/candidate pixel values per block word.
+type SadBatch = (Vec<[u64; 64]>, Vec<[u64; 64]>);
+
 /// Configuration of one Monte-Carlo sweep.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SweepOptions {
@@ -535,7 +538,7 @@ pub fn compiled_sad_sweep<B: PlaneBlock>(
     let _span = obs_span!("sim.compiled_sad_sweep");
     let pixel = SadAccelerator::PIXEL_BITS;
     assert!(
-        prog.n_inputs() % (2 * pixel) == 0 && prog.n_inputs() > 0,
+        prog.n_inputs().is_multiple_of(2 * pixel) && prog.n_inputs() > 0,
         "SAD program inputs must be 2 x PIXEL_BITS planes per slot"
     );
     assert!(prog.n_outputs() <= 64, "more than 64 outputs exceed a u64 lane value");
@@ -546,7 +549,7 @@ pub fn compiled_sad_sweep<B: PlaneBlock>(
         let mut inputs: Vec<B> = vec![B::zeros(); 2 * slots * pixel];
         let mut regs: Vec<B> = Vec::new();
         let mut outs: Vec<B> = Vec::new();
-        let mut blocks: Vec<(Vec<[u64; 64]>, Vec<[u64; 64]>)> = Vec::with_capacity(B::WORDS);
+        let mut blocks: Vec<SadBatch> = Vec::with_capacity(B::WORDS);
         let mut out_planes: Vec<u64> = vec![0u64; prog.n_outputs()];
         let mut remaining = n;
         while remaining > 0 {

@@ -24,7 +24,12 @@
 #      bit-rot is caught without spending minutes measuring; the
 #      bitslice bench's JSON lines are recorded into BENCH_bitslice.json
 #      and the symbolic engine's into BENCH_symbolic.json so the
-#      throughput and proof-cost trajectories are tracked in-tree;
+#      throughput and proof-cost trajectories are tracked in-tree; the
+#      symbolic report also carries sifted-vs-unsifted node counts and
+#      the compositional-calculus timings (DESIGN.md §14), gated by
+#      symbolic_gate: the Wallace 8×8 miter must sift to < 200k nodes
+#      with a ≥ 2× reduction, and the 16×16 Wallace calculus must
+#      certify its metrics inside a wall-clock ceiling;
 #   9. the JIT gates (DESIGN.md §13): the differential fuzz suite, the
 #      symbolic golden proofs and the register-allocator fixtures as a
 #      named step, then the jit bench recorded into BENCH_jit.json with
@@ -89,6 +94,9 @@ XLAC_BENCH_SAMPLES=7 XLAC_BENCH_MIN_SAMPLE_MS=1 cargo bench -q -p xlac-bench \
 echo "==> symbolic engine report (BENCH_symbolic.json)"
 XLAC_BENCH_QUICK=1 cargo bench -q -p xlac-bench --bench symbolic --offline \
     | grep '^{' > BENCH_symbolic.json
+
+echo "==> symbolic gate (sift < 200k nodes, >= 2x reduction; 16x16 calculus ceiling)"
+cargo run -q --release -p xlac-bench --offline --bin symbolic_gate -- BENCH_symbolic.json
 
 echo "==> jit differential suite (compiled vs interpreted vs scalar)"
 cargo test -q --offline --release --test jit_differential --test jit_golden \

@@ -104,7 +104,7 @@ fn deep_netlists_up_to_twenty_inputs_are_exhaustively_equivalent() {
         max_depth: 16,
         max_outputs: 8,
     };
-    let mut rng = DefaultRng::seed_from_u64(0xD1FF_2);
+    let mut rng = DefaultRng::seed_from_u64(0x000D_1FF2);
     for seed in 1000..1004 {
         let nl = random_netlist(seed, &spec);
         let prog = CompiledProgram::compile(&nl);
@@ -133,7 +133,7 @@ fn wide_netlists_get_a_hundred_thousand_seeded_vectors() {
         max_depth: 16,
         max_outputs: 10,
     };
-    let mut noise = DefaultRng::seed_from_u64(0xD1FF_3);
+    let mut noise = DefaultRng::seed_from_u64(0x000D_1FF3);
     for seed in 2000..2003 {
         let nl = random_netlist(seed, &spec);
         assert!(nl.n_inputs() > 20, "spec must exceed the exhaustive ceiling");
